@@ -1,0 +1,71 @@
+//! Criterion benches: one per table/figure of the paper's evaluation.
+//!
+//! Each bench times the complete driver that regenerates the figure
+//! (scaled-down request counts where the full population would only
+//! repeat identical analytic iterations), so `cargo bench` both exercises
+//! and times every experiment in the reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("table1", |b| b.iter(|| black_box(attacc_bench::table1())));
+    g.bench_function("fig02_gen_fraction_heatmap", |b| {
+        b.iter(|| black_box(attacc_bench::fig02()))
+    });
+    g.bench_function("fig03_roofline", |b| b.iter(|| black_box(attacc_bench::fig03())));
+    g.bench_function("fig04_batching_study", |b| {
+        b.iter(|| black_box(attacc_bench::fig04()))
+    });
+    g.bench_function("fig07_placement_study", |b| {
+        b.iter(|| black_box(attacc_bench::fig07()))
+    });
+    g.bench_function("fig13_end_to_end", |b| {
+        b.iter(|| black_box(attacc_bench::fig13(1_000)))
+    });
+    g.bench_function("fig14_slo_study", |b| b.iter(|| black_box(attacc_bench::fig14())));
+    g.bench_function("fig15_energy_study", |b| {
+        b.iter(|| black_box(attacc_bench::fig15(1_000)))
+    });
+    g.bench_function("fig16_bitwidth_study", |b| {
+        b.iter(|| black_box(attacc_bench::fig16(1_000)))
+    });
+    g.bench_function("fig17_alternatives", |b| {
+        b.iter(|| black_box(attacc_bench::fig17(1_000)))
+    });
+    g.bench_function("area_7_7", |b| b.iter(|| black_box(attacc_bench::area_table())));
+    g.bench_function("ablation_gqa", |b| {
+        b.iter(|| black_box(attacc_bench::ablation_gqa()))
+    });
+    g.bench_function("ablation_bitwise", |b| {
+        b.iter(|| black_box(attacc_bench::ablation_bitwise()))
+    });
+    g.bench_function("ablation_batch_pipe", |b| {
+        b.iter(|| black_box(attacc_bench::ablation_batch_pipe()))
+    });
+    g.bench_function("ablation_bridge", |b| {
+        b.iter(|| black_box(attacc_bench::ablation_bridge()))
+    });
+    g.bench_function("ablation_scaling", |b| {
+        b.iter(|| black_box(attacc_bench::ablation_scaling()))
+    });
+    g.bench_function("ablation_training", |b| {
+        b.iter(|| black_box(attacc_bench::ablation_training()))
+    });
+    g.bench_function("speedup_grid", |b| {
+        b.iter(|| {
+            let model = attacc_model::ModelConfig::gpt3_175b();
+            black_box(attacc_sim::sweep::speedup_grid(&model, &[512, 2048], 200))
+        })
+    });
+    g.bench_function("validation_opt66b", |b| {
+        b.iter(|| black_box(attacc_bench::validation_table()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

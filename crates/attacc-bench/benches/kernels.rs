@@ -1,0 +1,141 @@
+//! Criterion micro-benches of the simulator's core kernels: the DRAM
+//! command engine, the functional PIM dataflow, the softmax unit, the
+//! stage executors and the discrete-event scheduler.
+
+use attacc_hbm::engine::{simulate_stream, stream_time_estimate_ps};
+use attacc_hbm::{HbmConfig, StreamSpec};
+use attacc_model::ModelConfig;
+use attacc_pim::accumulator::Accumulator;
+use attacc_pim::mapping::hierarchical_gemv;
+use attacc_pim::numeric::Matrix;
+use attacc_pim::{GemvUnit, LevelSpec, MappingPolicy, Partitioning, SoftmaxUnit};
+use attacc_serving::{simulate, SchedulerConfig, StageExecutor, Workload};
+use attacc_sim::{System, SystemExecutor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_hbm_engine(c: &mut Criterion) {
+    let cfg = HbmConfig::hbm3_8hi();
+    let spec = StreamSpec::uniform(&cfg.geometry, 4 << 20, cfg.power.max_active_banks);
+    c.bench_function("hbm_stream_event_sim_4MiB", |b| {
+        b.iter(|| black_box(simulate_stream(&cfg, &spec)))
+    });
+    c.bench_function("hbm_stream_closed_form_4MiB", |b| {
+        b.iter(|| black_box(stream_time_estimate_ps(&cfg, &spec)))
+    });
+}
+
+fn bench_pim_functional(c: &mut Criterion) {
+    let policy = MappingPolicy {
+        levels: vec![
+            LevelSpec { fanout: 8, partitioning: Partitioning::ColWise },
+            LevelSpec { fanout: 4, partitioning: Partitioning::ColWise },
+            LevelSpec { fanout: 4, partitioning: Partitioning::RowWise },
+        ],
+        unit_mode: attacc_pim::GemvMode::AdderTree,
+    };
+    let k = 128usize;
+    let n = 512usize;
+    let x: Vec<f32> = (0..k).map(|i| (i % 13) as f32 * 0.1).collect();
+    let m = Matrix::from_vec(k, n, (0..k * n).map(|i| (i % 17) as f32 * 0.05).collect());
+    c.bench_function("pim_hierarchical_gemv_128x512", |b| {
+        b.iter(|| {
+            black_box(hierarchical_gemv(
+                &GemvUnit::new(),
+                &Accumulator::fp16(),
+                &policy,
+                &x,
+                &m,
+            ))
+        })
+    });
+
+    let softmax = SoftmaxUnit::new();
+    let scores: Vec<f32> = (0..4096).map(|i| (i % 101) as f32 * 0.07 - 3.0).collect();
+    c.bench_function("softmax_unit_4096", |b| {
+        b.iter(|| black_box(softmax.compute(&scores)))
+    });
+}
+
+fn bench_executors(c: &mut Criterion) {
+    let model = ModelConfig::gpt3_175b();
+    let base = SystemExecutor::new(System::dgx_base(), &model);
+    let pim = SystemExecutor::new(System::dgx_attacc_full(), &model);
+    let groups = [(64u64, 3072u64)];
+    c.bench_function("gen_stage_dgx_base", |b| {
+        b.iter(|| black_box(base.gen_stage(black_box(&groups))))
+    });
+    c.bench_function("gen_stage_dgx_attacc", |b| {
+        b.iter(|| black_box(pim.gen_stage(black_box(&groups))))
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let model = ModelConfig::gpt3_175b();
+    let exec = SystemExecutor::new(System::dgx_attacc_full(), &model);
+    let wl = Workload::uniform_random(64, 128, (16, 64), 11);
+    let cfg = SchedulerConfig::unlimited(16);
+    c.bench_function("scheduler_64_requests", |b| {
+        b.iter(|| black_box(simulate(&exec, &wl.requests(), &cfg)))
+    });
+
+    let open = attacc_serving::ArrivalWorkload::poisson(64, 8.0, 128, (16, 64), 5);
+    c.bench_function("open_loop_scheduler_64_requests", |b| {
+        b.iter(|| black_box(attacc_serving::simulate_open_loop(&exec, &open, &cfg)))
+    });
+}
+
+fn bench_functional_controller(c: &mut Criterion) {
+    use attacc_hbm::StackGeometry;
+    use attacc_pim::{AttAccController, AttInst, Precision};
+    let geom = StackGeometry {
+        pseudo_channels: 4,
+        bank_groups_per_rank: 2,
+        ranks: 2,
+        banks_per_group: 2,
+        ..StackGeometry::hbm3_8hi()
+    };
+    let d = 32usize;
+    let l = 64usize;
+    c.bench_function("functional_attention_d32_l64", |b| {
+        b.iter(|| {
+            let mut ctl = AttAccController::new(&geom, 4, Precision::Fp16);
+            ctl.execute(AttInst::SetModel { n_head: 1, d_head: d, max_l: 4096 }).unwrap();
+            ctl.execute(AttInst::UpdateRequest { request: 0, remove: false }).unwrap();
+            for tok in 0..l {
+                let k: Vec<f32> = (0..d).map(|i| ((tok * 7 + i) % 13) as f32 * 0.1).collect();
+                let v: Vec<f32> = (0..d).map(|i| ((tok * 3 + i) % 11) as f32 * 0.1).collect();
+                ctl.execute(AttInst::AppendKv { request: 0, head: 0, k, v }).unwrap();
+            }
+            let q: Vec<f32> = (0..d).map(|i| (i % 5) as f32 * 0.2).collect();
+            ctl.execute(AttInst::LoadQ { request: 0, head: 0, q }).unwrap();
+            ctl.execute(AttInst::RunAttention { request: 0, head: 0 }).unwrap();
+            black_box(ctl.execute(AttInst::ReadOutput { request: 0, head: 0 }).unwrap())
+        })
+    });
+}
+
+fn bench_address_map(c: &mut Criterion) {
+    use attacc_hbm::{AddressMap, Interleave, StackGeometry};
+    let m = AddressMap::new(StackGeometry::hbm3_8hi(), Interleave::RowInterleaved);
+    c.bench_function("address_decode_encode", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for beat in (0..1_000_000u64).step_by(997) {
+                acc ^= m.encode(black_box(m.decode(beat)));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hbm_engine,
+    bench_pim_functional,
+    bench_executors,
+    bench_scheduler,
+    bench_functional_controller,
+    bench_address_map
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Prints the Section 6.1 batch-level pipelining ablation.
+fn main() {
+    print!("{}", attacc_bench::ablation_batch_pipe());
+}

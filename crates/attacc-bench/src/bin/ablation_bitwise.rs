@@ -1,0 +1,4 @@
+//! Prints the Section 8 bulk-bitwise ablation.
+fn main() {
+    print!("{}", attacc_bench::ablation_bitwise());
+}

@@ -1,0 +1,4 @@
+//! Prints the interconnect-sensitivity ablation.
+fn main() {
+    print!("{}", attacc_bench::ablation_bridge());
+}

@@ -1,0 +1,4 @@
+//! Prints the Section 8 GQA/MQA ablation.
+fn main() {
+    print!("{}", attacc_bench::ablation_gqa());
+}

@@ -1,0 +1,4 @@
+//! Prints the model-scale ablation.
+fn main() {
+    print!("{}", attacc_bench::ablation_scaling());
+}

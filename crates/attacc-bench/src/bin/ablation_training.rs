@@ -1,0 +1,4 @@
+//! Prints the Section 8 training-implication ablation.
+fn main() {
+    print!("{}", attacc_bench::ablation_training());
+}

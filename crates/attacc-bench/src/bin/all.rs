@@ -1,0 +1,15 @@
+//! Prints every table and figure of the evaluation (the source of
+//! EXPERIMENTS.md's measured columns). Pass `--json` for a machine-
+//! readable dump.
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let tables = attacc_bench::all_tables(attacc_bench::N_REQUESTS);
+    if json {
+        let docs: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+        println!("[{}]", docs.join(",\n"));
+    } else {
+        for t in tables {
+            println!("{t}");
+        }
+    }
+}

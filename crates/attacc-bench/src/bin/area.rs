@@ -1,0 +1,4 @@
+//! Prints the Section 7.7 area-overhead table.
+fn main() {
+    print!("{}", attacc_bench::area_table());
+}

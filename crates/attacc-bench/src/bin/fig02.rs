@@ -1,0 +1,4 @@
+//! Prints the Figure 2 heat map.
+fn main() {
+    print!("{}", attacc_bench::fig02());
+}

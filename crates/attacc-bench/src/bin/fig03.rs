@@ -1,0 +1,4 @@
+//! Prints the Figure 3 roofline points.
+fn main() {
+    print!("{}", attacc_bench::fig03());
+}

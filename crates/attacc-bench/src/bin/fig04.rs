@@ -1,0 +1,6 @@
+//! Prints the Figure 4 batching study.
+fn main() {
+    for t in attacc_bench::fig04() {
+        println!("{t}");
+    }
+}

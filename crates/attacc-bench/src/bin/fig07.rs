@@ -1,0 +1,4 @@
+//! Prints the Figure 7 design-space study.
+fn main() {
+    print!("{}", attacc_bench::fig07());
+}

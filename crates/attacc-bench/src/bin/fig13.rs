@@ -1,0 +1,4 @@
+//! Prints the Figure 13 end-to-end comparison.
+fn main() {
+    print!("{}", attacc_bench::fig13(attacc_bench::N_REQUESTS));
+}

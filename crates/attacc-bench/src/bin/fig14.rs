@@ -1,0 +1,4 @@
+//! Prints the Figure 14 SLO study.
+fn main() {
+    print!("{}", attacc_bench::fig14());
+}

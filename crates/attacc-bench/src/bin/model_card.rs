@@ -1,0 +1,11 @@
+//! Prints resource inventories for every evaluation model.
+use attacc_model::{ModelConfig, ModelSummary};
+
+fn main() {
+    let mut models = ModelConfig::evaluation_models();
+    models.push(ModelConfig::llama2_70b());
+    models.push(ModelConfig::opt_66b());
+    for m in models {
+        println!("{}", ModelSummary::of(&m));
+    }
+}

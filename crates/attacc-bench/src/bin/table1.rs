@@ -1,0 +1,4 @@
+//! Prints Table 1.
+fn main() {
+    print!("{}", attacc_bench::table1());
+}

@@ -1,0 +1,4 @@
+//! Prints the Section 7.1 simulator-validation point.
+fn main() {
+    print!("{}", attacc_bench::validation_table());
+}

@@ -1,0 +1,580 @@
+//! Benchmark harness regenerating every table and figure of the AttAcc
+//! paper's evaluation.
+//!
+//! Each `figNN()` function runs the corresponding experiment at the
+//! paper's parameters and renders the rows as a [`Table`]. The `bin/`
+//! binaries print single figures (`cargo run --release -p attacc-bench
+//! --bin fig13`); `bin/all` prints the full evaluation and is the source
+//! of `EXPERIMENTS.md`. The Criterion benches (`cargo bench`) time both
+//! the figure drivers and the core simulator kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use attacc_model::{DataType, KvCacheSpec, ModelConfig, GIB};
+use attacc_pim::bitwise::{bank_pim_speedup, BankPimModel, BulkBitwiseModel};
+use attacc_pim::{AreaReport, GemvPlacement};
+use attacc_sim::experiment::{
+    alternatives_study, batching_study, bitwidth_study, end_to_end, gen_stage_fraction,
+    gqa_ablation, placement_study, roofline_rows, slo_study,
+};
+use attacc_sim::validate::validate_opt66b;
+use attacc_sim::{System, Table};
+
+/// The paper's three (L_in, L_out) evaluation points for Fig. 13/15/16.
+pub const EVAL_SEQS: [(u64, u64); 3] = [(512, 512), (1024, 1024), (2048, 2048)];
+
+/// Requests served per end-to-end configuration (§7.2).
+pub const N_REQUESTS: u64 = 10_000;
+
+fn n(v: f64) -> String {
+    Table::num(v)
+}
+
+/// Table 1: model size and maximum input-sequence trends.
+#[must_use]
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1: model size and max input sequence (FP16 weights)",
+        &["model", "params", "size (GB)", "max seq len"],
+    );
+    for m in [ModelConfig::gpt1(), ModelConfig::gpt2_xl(), ModelConfig::gpt3_175b()] {
+        t.push_row(vec![
+            m.name.clone(),
+            format!("{:.2e}", m.n_params() as f64),
+            n(m.weight_bytes() as f64 / GIB as f64),
+            m.max_seq_len.to_string(),
+        ]);
+    }
+    t.push_row(vec!["GPT-4".into(), "-".into(), "-".into(), "32768".into()]);
+    t
+}
+
+/// Fig. 2: percentage of Gen-stage time over (L_in, L_out), GPT-3 175B,
+/// batch 1 on the DGX baseline.
+#[must_use]
+pub fn fig02() -> Table {
+    let lens = [2u64, 8, 32, 128, 512, 2048];
+    let model = ModelConfig::gpt3_175b();
+    let sys = System::dgx_base();
+    let mut headers: Vec<String> = vec!["Lout \\ Lin".into()];
+    headers.extend(lens.iter().map(ToString::to_string));
+    let mut t = Table::new(
+        "Figure 2: % of Gen-stage time in total execution (GPT-3 175B, batch 1)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for &lout in lens.iter().rev() {
+        let mut row = vec![lout.to_string()];
+        for &lin in &lens {
+            row.push(format!("{:.1}", 100.0 * gen_stage_fraction(&sys, &model, lin, lout)));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Fig. 3: roofline of the baseline for GPT-3's Sum and Gen layers.
+#[must_use]
+pub fn fig03() -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let rows = roofline_rows(&System::dgx_base(), &model, 2048, &[1, 8, 64, 256]);
+    let mut t = Table::new(
+        "Figure 3: roofline placement (DGX, GPT-3 175B, Lin = 2048)",
+        &["layer", "op/B", "attainable TFLOP/s", "bound"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.label,
+            n(r.op_per_byte),
+            n(r.attainable_tflops),
+            if r.memory_bound { "memory".into() } else { "compute".into() },
+        ]);
+    }
+    t
+}
+
+/// Fig. 4: throughput/capacity, energy and breakdown versus batch size
+/// (DGX with unlimited capacity, L_in = 2048).
+#[must_use]
+pub fn fig04() -> Vec<Table> {
+    let model = ModelConfig::gpt3_175b();
+    let sys = System::dgx_base();
+    let batches = [1u64, 2, 4, 8, 16, 32, 64, 128, 256];
+    [128u64, 512, 2048]
+        .iter()
+        .map(|&lout| {
+            let mut t = Table::new(
+                format!("Figure 4: batching on DGX (GPT-3 175B, Lin=2048, Lout={lout})"),
+                &[
+                    "batch",
+                    "tokens/s",
+                    "capacity (GB)",
+                    ">DGX?",
+                    "J/token",
+                    "iter (ms)",
+                    "FC%",
+                    "attn%",
+                    "etc%",
+                    "GPU util%",
+                ],
+            );
+            for row in batching_study(&sys, &model, 2048, lout, &batches) {
+                t.push_row(vec![
+                    row.batch.to_string(),
+                    n(row.tokens_per_s),
+                    n(row.required_capacity_gib),
+                    if row.exceeds_dgx_capacity { "*".into() } else { "".into() },
+                    n(row.energy_per_token_j),
+                    n(row.iteration_latency_s * 1e3),
+                    n(row.fc_frac * 100.0),
+                    n(row.attn_frac * 100.0),
+                    n(row.other_frac * 100.0),
+                    n(row.utilization * 100.0),
+                ]);
+            }
+            t
+        })
+        .collect()
+}
+
+/// Companion to Fig. 4: the same batching study on the PIM platform,
+/// showing the attention share staying flat where the baseline's explodes.
+#[must_use]
+pub fn fig04_pim() -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let sys = System::dgx_attacc_full();
+    let batches = [1u64, 4, 16, 64, 256];
+    let mut t = Table::new(
+        "Figure 4 companion: batching on DGX+AttAccs (GPT-3 175B, Lin=2048, Lout=2048)",
+        &["batch", "tokens/s", "J/token", "iter (ms)", "attn%"],
+    );
+    for row in batching_study(&sys, &model, 2048, 2048, &batches) {
+        t.push_row(vec![
+            row.batch.to_string(),
+            n(row.tokens_per_s),
+            n(row.energy_per_token_j),
+            n(row.iteration_latency_s * 1e3),
+            n(row.attn_frac * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Fig. 7: the GEMV-placement design space.
+#[must_use]
+pub fn fig07() -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let mut t = Table::new(
+        "Figure 7: AttAcc design points (GPT-3 175B, Lin/Lout = 2048)",
+        &[
+            "placement",
+            "peak power (W)",
+            "rel tput",
+            "rel energy",
+            "area ovh %",
+            "rel EDAP",
+        ],
+    );
+    for r in placement_study(&model, 50, 4096) {
+        t.push_row(vec![
+            r.placement,
+            n(r.peak_power_w),
+            n(r.rel_throughput),
+            n(r.rel_energy),
+            n(r.area_overhead * 100.0),
+            n(r.rel_edap),
+        ]);
+    }
+    t
+}
+
+/// Fig. 13: normalized end-to-end time for 10,000 requests across models,
+/// sequence lengths and systems.
+#[must_use]
+pub fn fig13(n_requests: u64) -> Table {
+    let models = ModelConfig::evaluation_models();
+    let mut t = Table::new(
+        format!("Figure 13: normalized execution time, {n_requests} requests"),
+        &["model", "Lin", "Lout", "system", "batch", "time (s)", "normalized"],
+    );
+    for r in end_to_end(&models, &EVAL_SEQS, n_requests) {
+        t.push_row(vec![
+            r.model,
+            r.l_in.to_string(),
+            r.l_out.to_string(),
+            r.system,
+            r.batch.to_string(),
+            n(r.time_s),
+            n(r.normalized),
+        ]);
+    }
+    t
+}
+
+/// Fig. 14: throughput under SLOs (GPT-3 175B).
+#[must_use]
+pub fn fig14() -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let slos = [None, Some(0.070), Some(0.050), Some(0.030)];
+    let mut t = Table::new(
+        "Figure 14: throughput under SLO (GPT-3 175B, Lin/Lout = 2048)",
+        &["SLO", "system", "max batch", "tokens/s", "normalized"],
+    );
+    let rows = slo_study(&model, 2048, 2048, &slos);
+    let base: Vec<f64> = slos
+        .iter()
+        .map(|&slo| {
+            rows.iter()
+                .find(|r| r.slo_s == slo && r.system == "DGX_Base")
+                .map_or(0.0, |r| r.tokens_per_s)
+        })
+        .collect();
+    for r in &rows {
+        let slo_idx = slos.iter().position(|&s| s == r.slo_s).unwrap_or(0);
+        let denom = base[slo_idx];
+        t.push_row(vec![
+            r.slo_s.map_or("none".into(), |s| format!("{:.0}ms", s * 1e3)),
+            r.system.clone(),
+            r.max_batch.to_string(),
+            n(r.tokens_per_s),
+            if denom > 0.0 { n(r.tokens_per_s / denom) } else { "inf".into() },
+        ]);
+    }
+    t
+}
+
+/// Fig. 15: energy per output token (absolute and normalized).
+#[must_use]
+pub fn fig15(n_requests: u64) -> Table {
+    let models = ModelConfig::evaluation_models();
+    let mut t = Table::new(
+        "Figure 15: energy per output token",
+        &["model", "Lin", "Lout", "system", "J/token", "normalized", "saved %"],
+    );
+    for r in end_to_end(&models, &EVAL_SEQS, n_requests) {
+        // Recover the per-(model,seq) base row: normalized time row order
+        // guarantees DGX_Base first.
+        t.push_row(vec![
+            r.model,
+            r.l_in.to_string(),
+            r.l_out.to_string(),
+            r.system,
+            n(r.energy_per_token_j),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    // Fill normalized columns per group of five systems.
+    let mut i = 0;
+    while i < t.rows.len() {
+        let base: f64 = t.rows[i][4].parse().unwrap_or(1.0);
+        for j in i..(i + 5).min(t.rows.len()) {
+            let v: f64 = t.rows[j][4].parse().unwrap_or(0.0);
+            t.rows[j][5] = n(v / base);
+            t.rows[j][6] = n(100.0 * (1.0 - v / base));
+        }
+        i += 5;
+    }
+    t
+}
+
+/// Fig. 16: FP16 vs INT8 sensitivity (GPT-3 175B).
+#[must_use]
+pub fn fig16(n_requests: u64) -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let mut t = Table::new(
+        "Figure 16: bit-width sensitivity (GPT-3 175B)",
+        &["dtype", "Lin", "Lout", "speedup vs DGX_Base", "speedup vs DGX_Large"],
+    );
+    for r in bitwidth_study(&model, &EVAL_SEQS, n_requests) {
+        t.push_row(vec![
+            r.dtype,
+            r.l_in.to_string(),
+            r.l_out.to_string(),
+            n(r.speedup_vs_base),
+            n(r.speedup_vs_large),
+        ]);
+    }
+    t
+}
+
+/// Fig. 17: comparison with other DGX options (GPT-3 175B).
+#[must_use]
+pub fn fig17(n_requests: u64) -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let mut t = Table::new(
+        "Figure 17: other DGX options (GPT-3 175B)",
+        &["system", "Lin", "Lout", "batch", "normalized throughput"],
+    );
+    for r in alternatives_study(&model, &EVAL_SEQS, n_requests) {
+        t.push_row(vec![
+            r.system,
+            r.l_in.to_string(),
+            r.l_out.to_string(),
+            r.batch.to_string(),
+            n(r.normalized_throughput),
+        ]);
+    }
+    t
+}
+
+/// §7.7: area overhead of the shipped (bank-level) design.
+#[must_use]
+pub fn area_table() -> Table {
+    let hbm = attacc_hbm::HbmConfig::hbm3_8hi();
+    let mut t = Table::new(
+        "Section 7.7: area overhead per design point",
+        &["placement", "DRAM die (mm^2)", "die overhead %", "buffer die (mm^2)"],
+    );
+    for p in GemvPlacement::ALL {
+        let r = AreaReport::for_placement(p, &hbm);
+        t.push_row(vec![
+            p.to_string(),
+            n(r.per_dram_die_mm2),
+            n(r.dram_die_overhead * 100.0),
+            n(r.per_buffer_die_mm2),
+        ]);
+    }
+    t
+}
+
+/// §8 ablation: GQA/MQA sensitivity of the attention speedup, with and
+/// without the systolic GEMV-unit extension.
+#[must_use]
+pub fn ablation_gqa() -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let mut t = Table::new(
+        "Section 8 ablation: GQA/MQA (GPT-3 175B, batch 32, L = 2048)",
+        &["KV sharing", "KV heads", "default speedup", "systolic speedup"],
+    );
+    for r in gqa_ablation(&model, 32, 2048, &[1, 2, 4, 8, 16, 32, 96]) {
+        let kv_heads = 96 / r.group_size;
+        t.push_row(vec![
+            format!("group={}", r.group_size),
+            kv_heads.to_string(),
+            n(r.attention_speedup),
+            n(r.systolic_speedup),
+        ]);
+    }
+    t
+}
+
+/// §6.1 ablation: batch-level pipelining versus the adopted head-level
+/// pipelining (the Fig. 11(c) argument).
+#[must_use]
+pub fn ablation_batch_pipe() -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let mut t = Table::new(
+        "Section 6.1 ablation: batch-level pipelining (GPT-3 175B, Lin/Lout = 2048)",
+        &["strategy", "batch per stream", "tokens/s"],
+    );
+    for r in attacc_sim::experiment::batch_pipelining_ablation(&model, 2048, 2048) {
+        t.push_row(vec![
+            r.strategy,
+            r.batch_per_stream.to_string(),
+            n(r.tokens_per_s),
+        ]);
+    }
+    t
+}
+
+/// §8 ablation: bulk bitwise versus bank-level PIM for INT8 multiplies.
+#[must_use]
+pub fn ablation_bitwise() -> Table {
+    let bulk = BulkBitwiseModel::default();
+    let pim = BankPimModel::default();
+    let mut t = Table::new(
+        "Section 8 ablation: bulk-bitwise vs bank-level PIM (INT8, per bank, 20 us window)",
+        &["approach", "multiplications", "relative"],
+    );
+    let b = bulk.int8_muls_per_bank(20.0);
+    let p = pim.int8_muls_per_bank(20.0);
+    t.push_row(vec!["bulk bitwise (Ambit-style)".into(), n(b), n(1.0)]);
+    t.push_row(vec!["bank-level PIM (AttAcc)".into(), n(p), n(bank_pim_speedup(&bulk, &pim))]);
+    t
+}
+
+/// §8 ablation: the implication of AttAcc on training.
+#[must_use]
+pub fn ablation_training() -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let mut t = Table::new(
+        "Section 8 ablation: training phases (GPT-3 175B, batch 8, seq 2048)",
+        &["phase", "attention op/B", "bound", "AttAcc speedup"],
+    );
+    for r in attacc_sim::experiment::training_ablation(&model, 8, 2048) {
+        t.push_row(vec![
+            r.phase,
+            n(r.attention_op_b),
+            if r.memory_bound { "memory".into() } else { "compute".into() },
+            n(r.attacc_speedup),
+        ]);
+    }
+    t
+}
+
+/// Design-choice ablation: sensitivity to the xPU↔AttAcc bridge.
+#[must_use]
+pub fn ablation_bridge() -> Table {
+    use attacc_xpu::Interconnect;
+    let model = ModelConfig::gpt3_175b();
+    let mut t = Table::new(
+        "Ablation: xPU-AttAcc interconnect sensitivity (GPT-3 175B, batch 32, L = 2048)",
+        &["bridge", "GB/s", "iteration (ms)", "slowdown"],
+    );
+    for r in attacc_sim::experiment::bridge_sensitivity(
+        &model,
+        32,
+        2048,
+        &[
+            Interconnect::pcie_gen5(),
+            Interconnect::accelerator_bridge(),
+            Interconnect::nvlink(),
+        ],
+    ) {
+        t.push_row(vec![r.bridge, n(r.bw_gb_s), n(r.iteration_ms), n(r.slowdown)]);
+    }
+    t
+}
+
+/// Design-choice ablation: speedup versus model scale (§7.2's
+/// interpretation of where the win comes from).
+#[must_use]
+pub fn ablation_scaling() -> Table {
+    let models = [
+        ModelConfig::gpt3_6_7b(),
+        ModelConfig::gpt3_13b(),
+        ModelConfig::llama_65b(),
+        ModelConfig::gpt3_175b(),
+        ModelConfig::mt_nlg_530b(),
+    ];
+    let mut t = Table::new(
+        "Ablation: speedup vs model scale (Lin/Lout = 2048, 1000 requests)",
+        &["model", "params", "batch Base", "batch PIM", "speedup"],
+    );
+    for r in attacc_sim::experiment::model_scaling_study(&models, 2048, 2048, 1_000) {
+        t.push_row(vec![
+            r.model,
+            format!("{:.2e}", r.params as f64),
+            r.batch_base.to_string(),
+            r.batch_pim.to_string(),
+            n(r.speedup),
+        ]);
+    }
+    t
+}
+
+/// §7.1 validation point: OPT-66B on a real-bandwidth DGX A100.
+#[must_use]
+pub fn validation_table() -> Table {
+    let r = validate_opt66b();
+    let mut t = Table::new(
+        "Section 7.1 validation: OPT-66B batch-1 token latency on DGX A100",
+        &["quantity", "seconds"],
+    );
+    t.push_row(vec!["modeled".into(), format!("{:.4}", r.modeled_s)]);
+    t.push_row(vec!["published measurement".into(), format!("{:.4}", r.measured_s)]);
+    t.push_row(vec!["ratio".into(), format!("{:.2}", r.ratio)]);
+    t
+}
+
+/// Supporting stat: the KV capacity picture of §3.2.
+#[must_use]
+pub fn capacity_table() -> Table {
+    let m = ModelConfig::gpt3_175b();
+    let spec = KvCacheSpec::of(&m);
+    let mut t = Table::new(
+        "Section 3.2: KV-cache capacity pressure (GPT-3 175B, FP16)",
+        &["quantity", "value"],
+    );
+    t.push_row(vec![
+        "KV per request at L=4096".into(),
+        attacc_model::fmt_gib(spec.bytes_at(4096)),
+    ]);
+    t.push_row(vec![
+        "KV for batch 64".into(),
+        attacc_model::fmt_gib(spec.batch_bytes(64, 4096)),
+    ]);
+    t.push_row(vec![
+        "weights".into(),
+        attacc_model::fmt_gib(m.weight_bytes()),
+    ]);
+    let free = 640 * GIB - m.weight_bytes();
+    t.push_row(vec![
+        "max batch on DGX (640 GB)".into(),
+        spec.max_batch(free, 4096).to_string(),
+    ]);
+    t
+}
+
+/// Every table of the evaluation, in paper order.
+#[must_use]
+pub fn all_tables(n_requests: u64) -> Vec<Table> {
+    let mut out = vec![table1(), capacity_table(), fig02(), fig03()];
+    out.extend(fig04());
+    out.push(fig04_pim());
+    out.push(fig07());
+    out.push(fig13(n_requests));
+    out.push(fig14());
+    out.push(fig15(n_requests));
+    out.push(fig16(n_requests));
+    out.push(fig17(n_requests));
+    out.push(area_table());
+    out.push(ablation_gqa());
+    out.push(ablation_batch_pipe());
+    out.push(ablation_bitwise());
+    out.push(ablation_training());
+    out.push(ablation_bridge());
+    out.push(ablation_scaling());
+    out.push(validation_table());
+    out
+}
+
+/// INT8 helper used by docs to show the quantized model family exists.
+#[must_use]
+pub fn int8_gpt3() -> ModelConfig {
+    ModelConfig::gpt3_175b().with_dtype(DataType::Int8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table_renders() {
+        for t in all_tables(200) {
+            let s = t.to_string();
+            assert!(s.len() > 40, "table {} looks empty", t.title);
+            assert!(!t.rows.is_empty(), "table {} has no rows", t.title);
+        }
+    }
+
+    #[test]
+    fn fig13_base_rows_are_normalized_to_one() {
+        let t = fig13(100);
+        for row in t.rows.iter().filter(|r| r[3] == "DGX_Base") {
+            assert_eq!(row[6], "1.00");
+        }
+    }
+
+    #[test]
+    fn fig15_savings_positive_for_pim() {
+        let t = fig15(100);
+        for row in t
+            .rows
+            .iter()
+            .filter(|r| r[3] == "DGX+AttAccs +HL pipe +FF co-proc")
+        {
+            let saved: f64 = row[6].parse().unwrap();
+            assert!(saved > 0.0, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn int8_model_is_half_size() {
+        assert_eq!(
+            int8_gpt3().weight_bytes() * 2,
+            ModelConfig::gpt3_175b().weight_bytes()
+        );
+    }
+}

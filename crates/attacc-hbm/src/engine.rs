@@ -1,0 +1,954 @@
+//! Event-driven per-pseudo-channel command engine.
+//!
+//! Two levels of fidelity are provided:
+//!
+//! * [`ChannelEngine`] — issue individual DRAM commands with full timing
+//!   legality (tFAW, tRRD, per-bank-group tCCDL, channel-bus tCCDS) and
+//!   per-command energy accounting. Used by unit tests and fine-grained
+//!   PIM sequences.
+//! * [`simulate_stream`] — an event-driven scheduler for the PIM streaming
+//!   pattern (`PIM_ACT_AB` / `PIM_MAC_AB` loops): every participating bank
+//!   repeatedly activates a row and streams it into its GEMV unit, while a
+//!   power-budget token pool caps how many banks stream concurrently
+//!   (§4.1: 18 of 32 per pCH at bank level). Banks without a token
+//!   activate/precharge in the background, which is exactly how the paper
+//!   hides row-switch latency.
+//!
+//! [`stream_time_estimate_ps`] is a closed-form approximation of
+//! [`simulate_stream`], validated against it by property tests and used
+//! inside large sweeps.
+
+use crate::stats::ChannelStats;
+use crate::{
+    AccessDepth, BankAddr, BankState, DramCommand, EnergyCounter, HbmConfig, StackGeometry,
+};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+/// Error returned when a command cannot legally execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingViolation {
+    /// A read or precharge targeted a bank with no open row.
+    RowNotOpen {
+        /// Offending bank.
+        bank: BankAddr,
+    },
+    /// An activate targeted a bank whose row is still open.
+    RowAlreadyOpen {
+        /// Offending bank.
+        bank: BankAddr,
+    },
+}
+
+impl fmt::Display for TimingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingViolation::RowNotOpen { bank } => {
+                write!(f, "bank {bank:?} has no open row")
+            }
+            TimingViolation::RowAlreadyOpen { bank } => {
+                write!(f, "bank {bank:?} already has an open row")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimingViolation {}
+
+/// Per-pseudo-channel command engine with full timing state.
+#[derive(Debug, Clone)]
+pub struct ChannelEngine {
+    cfg: HbmConfig,
+    banks: Vec<BankState>,
+    /// Earliest next column command per bank group (tCCDL).
+    group_ready_ps: Vec<u64>,
+    /// Earliest next column command on the shared channel bus (tCCDS).
+    bus_ready_ps: u64,
+    /// Recent activate start times for the tFAW window (per rank).
+    act_history: Vec<VecDeque<u64>>,
+    /// Earliest next activate per rank (tRRD).
+    rank_act_ready_ps: Vec<u64>,
+    energy: EnergyCounter,
+    issued: u64,
+    trace: Option<Vec<(u64, DramCommand)>>,
+    trace_cap: usize,
+    stats: ChannelStats,
+    /// Per bank: has a column command hit the currently open row yet?
+    col_since_act: Vec<bool>,
+}
+
+impl ChannelEngine {
+    /// Creates an engine for one pseudo-channel of `cfg`.
+    #[must_use]
+    pub fn new(cfg: &HbmConfig) -> ChannelEngine {
+        let g = &cfg.geometry;
+        ChannelEngine {
+            cfg: cfg.clone(),
+            banks: vec![BankState::new(); g.banks_per_pch() as usize],
+            group_ready_ps: vec![0; g.bank_groups_per_pch() as usize],
+            bus_ready_ps: 0,
+            act_history: vec![VecDeque::new(); g.ranks as usize],
+            rank_act_ready_ps: vec![0; g.ranks as usize],
+            energy: EnergyCounter::default(),
+            issued: 0,
+            trace: None,
+            trace_cap: 0,
+            stats: ChannelStats::new(&cfg.geometry),
+            col_since_act: vec![false; cfg.geometry.banks_per_pch() as usize],
+        }
+    }
+
+    /// Channel statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Starts recording `(start_ps, command)` pairs for the next commands,
+    /// keeping at most `cap` entries (older entries are retained; the
+    /// trace simply stops growing at the cap).
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(Vec::with_capacity(cap.min(4096)));
+        self.trace_cap = cap;
+    }
+
+    /// The recorded command trace, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&[(u64, DramCommand)]> {
+        self.trace.as_deref()
+    }
+
+    fn record(&mut self, start: u64, cmd: DramCommand) {
+        let cap = self.trace_cap;
+        if let Some(t) = &mut self.trace {
+            if t.len() < cap {
+                t.push((start, cmd));
+            }
+        }
+    }
+
+    /// The stack configuration this engine simulates.
+    #[must_use]
+    pub fn config(&self) -> &HbmConfig {
+        &self.cfg
+    }
+
+    /// Accumulated energy of all issued commands.
+    #[must_use]
+    pub fn energy(&self) -> &EnergyCounter {
+        &self.energy
+    }
+
+    /// Number of commands issued so far.
+    #[must_use]
+    pub fn issued_commands(&self) -> u64 {
+        self.issued
+    }
+
+    /// State of a bank (for assertions and debugging).
+    ///
+    /// # Panics
+    /// Panics if the address is out of range.
+    #[must_use]
+    pub fn bank(&self, addr: BankAddr) -> &BankState {
+        &self.banks[addr.index(&self.cfg.geometry) as usize]
+    }
+
+    /// Issues `cmd` at the earliest legal time ≥ `not_before`.
+    ///
+    /// For reads, `depth` selects how far the data travels (and therefore
+    /// which shared-bus constraints and energies apply): bank-level PIM
+    /// reads pay no bus constraint; buffer/external reads serialize on the
+    /// channel bus at tCCDS and on their bank group at tCCDL.
+    ///
+    /// Returns the command's start time.
+    ///
+    /// # Errors
+    /// Returns [`TimingViolation`] if the command is illegal in the current
+    /// bank state (e.g. read with no open row).
+    pub fn issue(
+        &mut self,
+        cmd: DramCommand,
+        depth: AccessDepth,
+        not_before: u64,
+    ) -> Result<u64, TimingViolation> {
+        let g = self.cfg.geometry.clone();
+        let t = self.cfg.timing.clone();
+        let e = self.cfg.energy.clone();
+        self.issued += 1;
+        match cmd {
+            DramCommand::Activate { bank, row } => {
+                let idx = bank.index(&g) as usize;
+                if self.banks[idx].phase == crate::BankPhase::Active {
+                    return Err(TimingViolation::RowAlreadyOpen { bank });
+                }
+                let rank = bank.rank as usize;
+                // tFAW: at most 4 activates per rolling window per rank.
+                let faw_gate = if self.act_history[rank].len() >= 4 {
+                    self.act_history[rank][self.act_history[rank].len() - 4] + t.t_faw
+                } else {
+                    0
+                };
+                let earliest = not_before
+                    .max(faw_gate)
+                    .max(self.rank_act_ready_ps[rank]);
+                let start = self.banks[idx].activate(&t, row, earliest);
+                self.rank_act_ready_ps[rank] = start + t.t_rrd;
+                let hist = &mut self.act_history[rank];
+                hist.push_back(start);
+                if hist.len() > 8 {
+                    hist.pop_front();
+                }
+                self.energy.activation_pj += e.act_energy_pj(g.row_bytes);
+                self.stats.acts[idx] += 1;
+                self.col_since_act[idx] = false;
+                self.record(start, cmd);
+                Ok(start)
+            }
+            DramCommand::Read { bank } | DramCommand::Write { bank } => {
+                let is_write = matches!(cmd, DramCommand::Write { .. });
+                let idx = bank.index(&g) as usize;
+                if self.banks[idx].phase != crate::BankPhase::Active {
+                    return Err(TimingViolation::RowNotOpen { bank });
+                }
+                let mut earliest = not_before;
+                if depth >= AccessDepth::BankGroup {
+                    let gi = bank.group_index(&g) as usize;
+                    earliest = earliest.max(self.group_ready_ps[gi]);
+                }
+                if depth >= AccessDepth::Buffer {
+                    earliest = earliest.max(self.bus_ready_ps);
+                }
+                let start = if is_write {
+                    self.banks[idx].write(&t, earliest)
+                } else {
+                    self.banks[idx].read(&t, earliest)
+                };
+                if depth >= AccessDepth::BankGroup {
+                    let gi = bank.group_index(&g) as usize;
+                    self.group_ready_ps[gi] = start + t.t_ccd_l;
+                }
+                if depth >= AccessDepth::Buffer {
+                    self.bus_ready_ps = start + t.t_ccd_s;
+                }
+                let with_mac = !is_write && depth < AccessDepth::Buffer;
+                let pj = e.read_energy_pj(depth, g.prefetch_bytes, with_mac);
+                let io = if depth == AccessDepth::External {
+                    e.io_pj_per_bit * g.prefetch_bytes as f64 * 8.0
+                } else {
+                    0.0
+                };
+                self.energy.datapath_pj += pj - io;
+                self.energy.io_pj += io;
+                if with_mac {
+                    let mac = e.mac_pj_per_bit * g.prefetch_bytes as f64 * 8.0;
+                    self.energy.datapath_pj -= mac;
+                    self.energy.compute_pj += mac;
+                }
+                if is_write {
+                    self.stats.writes[idx] += 1;
+                } else {
+                    self.stats.reads[idx] += 1;
+                }
+                if self.col_since_act[idx] {
+                    self.stats.row_hits += 1;
+                } else {
+                    self.stats.row_opens += 1;
+                    self.col_since_act[idx] = true;
+                }
+                if depth >= AccessDepth::Buffer {
+                    self.stats.bus_busy_ps += t.t_ccd_s;
+                }
+                self.record(start, cmd);
+                Ok(start)
+            }
+            DramCommand::Precharge { bank } => {
+                let idx = bank.index(&g) as usize;
+                if self.banks[idx].phase != crate::BankPhase::Active {
+                    return Err(TimingViolation::RowNotOpen { bank });
+                }
+                let start = self.banks[idx].precharge(&t, not_before);
+                self.stats.precharges[idx] += 1;
+                self.record(start, cmd);
+                Ok(start)
+            }
+        }
+    }
+}
+
+/// Outcome of issuing one PIM command through [`ChannelEngine::issue_pim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PimIssueOutcome {
+    /// Earliest start across the touched banks (ps).
+    pub start_ps: u64,
+    /// Latest completion across the touched banks (ps).
+    pub done_ps: u64,
+    /// Underlying DRAM commands issued.
+    pub commands: u64,
+}
+
+impl ChannelEngine {
+    /// Issues one PIM command (§5.1) against this channel, expanding it to
+    /// its per-bank DRAM commands:
+    ///
+    /// * `ActAb` activates `row` in the first `banks` idle banks.
+    /// * `MacAb` reads one beat (bank depth, MAC energy) from every bank
+    ///   with an open row.
+    /// * Buffer-die commands (`Sfm`, `WrGb`, `MvGb`, `MvSb`, `RdSb`,
+    ///   `SetConfig`) issue no DRAM commands; their cost lives in the
+    ///   softmax/transfer models.
+    ///
+    /// `banks` caps how many banks an `ActAb` touches — the controller
+    /// uses it to stay inside the power budget.
+    ///
+    /// # Errors
+    /// Propagates [`TimingViolation`] from the underlying commands (e.g.
+    /// `MacAb` with no open rows is a no-op, not an error).
+    pub fn issue_pim(
+        &mut self,
+        cmd: crate::PimCommand,
+        banks: u32,
+        not_before: u64,
+    ) -> Result<PimIssueOutcome, TimingViolation> {
+        use crate::{BankPhase, PimCommand};
+        let g = self.cfg.geometry.clone();
+        let t = self.cfg.timing.clone();
+        match cmd {
+            PimCommand::ActAb { row } => {
+                let mut first = u64::MAX;
+                let mut last = 0u64;
+                let mut n = 0u64;
+                for i in 0..g.banks_per_pch() {
+                    if n >= u64::from(banks) {
+                        break;
+                    }
+                    let addr = BankAddr::from_index(&g, i);
+                    if self.bank(addr).phase == BankPhase::Idle {
+                        let s = self.issue(
+                            DramCommand::Activate { bank: addr, row },
+                            AccessDepth::Bank,
+                            not_before,
+                        )?;
+                        first = first.min(s);
+                        last = last.max(s + t.t_rcd);
+                        n += 1;
+                    }
+                }
+                Ok(PimIssueOutcome {
+                    start_ps: if n == 0 { not_before } else { first },
+                    done_ps: last.max(not_before),
+                    commands: n,
+                })
+            }
+            PimCommand::MacAb => {
+                let mut first = u64::MAX;
+                let mut last = 0u64;
+                let mut n = 0u64;
+                for i in 0..g.banks_per_pch() {
+                    let addr = BankAddr::from_index(&g, i);
+                    if self.bank(addr).phase == BankPhase::Active {
+                        let s = self.issue(
+                            DramCommand::Read { bank: addr },
+                            AccessDepth::Bank,
+                            not_before,
+                        )?;
+                        first = first.min(s);
+                        last = last.max(s + t.t_ccd_l);
+                        n += 1;
+                    }
+                }
+                Ok(PimIssueOutcome {
+                    start_ps: if n == 0 { not_before } else { first },
+                    done_ps: last.max(not_before),
+                    commands: n,
+                })
+            }
+            PimCommand::SetConfig => Ok(PimIssueOutcome {
+                start_ps: not_before,
+                done_ps: not_before,
+                commands: 0,
+            }),
+            PimCommand::Sfm { .. }
+            | PimCommand::WrGb { .. }
+            | PimCommand::MvGb { .. }
+            | PimCommand::MvSb { .. }
+            | PimCommand::RdSb { .. } => Ok(PimIssueOutcome {
+                start_ps: not_before,
+                done_ps: not_before,
+                commands: 0,
+            }),
+        }
+    }
+}
+
+/// A PIM streaming job over one pseudo-channel: how many bytes each bank
+/// must deliver to its GEMV unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Bytes to stream per bank (index = dense bank index; zero = unused).
+    pub bytes_per_bank: Vec<u64>,
+    /// Power-budget cap on concurrently streaming banks.
+    pub max_active: u32,
+    /// Where the streamed data is consumed.
+    pub depth: AccessDepth,
+}
+
+impl StreamSpec {
+    /// Spreads `total_bytes` evenly over every bank of the channel at
+    /// bank-level depth with concurrency `max_active`.
+    #[must_use]
+    pub fn uniform(geom: &StackGeometry, total_bytes: u64, max_active: u32) -> StreamSpec {
+        let n = geom.banks_per_pch() as u64;
+        let per = total_bytes / n;
+        let mut rem = total_bytes % n;
+        let bytes_per_bank = (0..n)
+            .map(|_| {
+                let extra = u64::from(rem > 0);
+                rem = rem.saturating_sub(1);
+                per + extra
+            })
+            .collect();
+        StreamSpec {
+            bytes_per_bank,
+            max_active,
+            depth: AccessDepth::Bank,
+        }
+    }
+
+    /// Total bytes across all banks.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_bank.iter().sum()
+    }
+}
+
+/// Result of a streaming simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamOutcome {
+    /// Wall-clock picoseconds from first activate to last beat.
+    pub elapsed_ps: u64,
+    /// Column (MAC) commands issued.
+    pub reads: u64,
+    /// Row activations issued.
+    pub activates: u64,
+    /// Energy consumed.
+    pub energy: EnergyCounter,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    ActDone,
+    StreamDone,
+}
+
+/// Simulates the PIM streaming pattern over one pseudo-channel.
+///
+/// Every bank with data loops over its rows: activate (tRCD), stream the
+/// row's beats at one per tCCDL *while holding a power token*, precharge
+/// (tRP, overlapped). At most `spec.max_active` banks hold tokens at once;
+/// the rest perform their row switches in the shadow of others' streaming,
+/// reproducing the paper's observation that AttAcc_bank hides
+/// activate/precharge latency when the power budget keeps some banks idle.
+#[must_use]
+pub fn simulate_stream(cfg: &HbmConfig, spec: &StreamSpec) -> StreamOutcome {
+    let g = &cfg.geometry;
+    let t = &cfg.timing;
+    let e = &cfg.energy;
+    assert_eq!(
+        spec.bytes_per_bank.len(),
+        g.banks_per_pch() as usize,
+        "spec must cover every bank of the channel"
+    );
+    assert!(spec.max_active > 0, "at least one bank must be allowed to stream");
+
+    // Remaining full/partial rows per bank, expressed in beats.
+    struct BankJob {
+        beats_left: u64,
+        beats_per_row: u64,
+    }
+    let beats_per_row = g.row_bytes / g.prefetch_bytes;
+    let mut jobs: Vec<BankJob> = spec
+        .bytes_per_bank
+        .iter()
+        .map(|&b| BankJob {
+            beats_left: b.div_ceil(g.prefetch_bytes),
+            beats_per_row,
+        })
+        .collect();
+
+    let mut tokens = spec.max_active;
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    let mut heap: BinaryHeap<Reverse<(u64, usize, Event)>> = BinaryHeap::new();
+    let mut last_act: Vec<u64> = vec![0; jobs.len()];
+    let mut activates = 0u64;
+    let mut reads = 0u64;
+    let mut elapsed = 0u64;
+
+    // Initial activations. The controller staggers banks by one row-burst
+    // worth of phase across the pool: command-bus serialization plus
+    // deliberate phase offsets prevent the power-token pool from
+    // synchronizing into release waves (which would strand tokens for a
+    // switch-time every row).
+    let beats_per_row_ps = beats_per_row.max(1) * t.t_ccd_l;
+    let populated_count = jobs.iter().filter(|j| j.beats_left > 0).count().max(1) as u64;
+    // Waves only form when tokens are contended AND banks make row
+    // switches (single-row jobs have nothing to park for).
+    let multi_row = jobs.iter().any(|j| j.beats_left > beats_per_row);
+    let contended = u64::from(spec.max_active) < populated_count && multi_row;
+    for (i, job) in jobs.iter().enumerate() {
+        if job.beats_left > 0 {
+            let phase = if contended {
+                (i as u64 * beats_per_row_ps) / populated_count
+            } else {
+                0
+            };
+            heap.push(Reverse((phase + t.t_rcd, i, Event::ActDone)));
+            last_act[i] = phase;
+            activates += 1;
+        }
+    }
+
+    // Per-beat gating: bank-level streams pay tCCDL per bank only; deeper
+    // consumers serialize on shared buses, which we conservatively model by
+    // lowering effective concurrency (callers pass the right max_active).
+    while let Some(Reverse((now, idx, ev))) = heap.pop() {
+        elapsed = elapsed.max(now);
+        match ev {
+            Event::ActDone => {
+                waiting.push_back(idx);
+            }
+            Event::StreamDone => {
+                tokens += 1;
+                let job = &mut jobs[idx];
+                if job.beats_left > 0 {
+                    // Row switch: precharge then activate the next row.
+                    let pre_start = now.max(last_act[idx] + t.t_ras);
+                    let act_start = (pre_start + t.t_rp).max(last_act[idx] + t.t_rc());
+                    last_act[idx] = act_start;
+                    activates += 1;
+                    heap.push(Reverse((act_start + t.t_rcd, idx, Event::ActDone)));
+                }
+            }
+        }
+        // Grant tokens to ready banks FIFO.
+        while tokens > 0 {
+            let Some(next) = waiting.pop_front() else { break };
+            let job = &mut jobs[next];
+            let burst = job.beats_left.min(job.beats_per_row);
+            job.beats_left -= burst;
+            reads += burst;
+            tokens -= 1;
+            heap.push(Reverse((now + burst * t.t_ccd_l, next, Event::StreamDone)));
+        }
+    }
+
+    let beat_bits = g.prefetch_bytes as f64 * 8.0;
+    let energy = EnergyCounter {
+        activation_pj: activates as f64 * e.act_energy_pj(g.row_bytes),
+        datapath_pj: reads as f64 * e.read_path_pj_per_bit(spec.depth) * beat_bits,
+        compute_pj: reads as f64 * e.mac_pj_per_bit * beat_bits,
+        ..EnergyCounter::default()
+    };
+
+    StreamOutcome {
+        elapsed_ps: t.with_refresh(elapsed),
+        reads,
+        activates,
+        energy,
+    }
+}
+
+/// Closed-form approximation of [`simulate_stream`]'s elapsed time.
+///
+/// Two lower bounds are combined: the token-throughput bound (total beats
+/// divided by the concurrency cap) and the slowest single bank's serial
+/// time (its beats plus un-hideable row switches when every bank streams).
+#[must_use]
+pub fn stream_time_estimate_ps(cfg: &HbmConfig, spec: &StreamSpec) -> u64 {
+    let g = &cfg.geometry;
+    let t = &cfg.timing;
+    let beats_per_row = g.row_bytes / g.prefetch_bytes;
+    let populated = spec.bytes_per_bank.iter().filter(|&&b| b > 0).count() as u64;
+    if populated == 0 {
+        return 0;
+    }
+    let total_beats: u64 = spec
+        .bytes_per_bank
+        .iter()
+        .map(|&b| b.div_ceil(g.prefetch_bytes))
+        .sum();
+    let conc = u64::from(spec.max_active).min(populated);
+    let throughput_bound = total_beats * t.t_ccd_l / conc;
+    // Single-row jobs cannot be split across power tokens: the stream
+    // quantizes into ceil(populated / conc) whole-burst waves.
+    let max_beats_any = spec
+        .bytes_per_bank
+        .iter()
+        .map(|&b| b.div_ceil(g.prefetch_bytes))
+        .max()
+        .unwrap_or(0);
+    let throughput_bound = if max_beats_any <= beats_per_row {
+        throughput_bound.max(populated.div_ceil(conc) * max_beats_any * t.t_ccd_l)
+    } else {
+        throughput_bound
+    };
+
+    // Per-bank serial bound: a bank that always holds a token still pays
+    // tRP + tRCD (or the tRC gap, whichever is larger) at every row switch.
+    let max_beats = spec
+        .bytes_per_bank
+        .iter()
+        .map(|&b| b.div_ceil(g.prefetch_bytes))
+        .max()
+        .unwrap_or(0);
+    let rows = max_beats.div_ceil(beats_per_row);
+    let switch = (t.t_rp + t.t_rcd).max(t.t_rc().saturating_sub(beats_per_row * t.t_ccd_l));
+    let serial_bound = max_beats * t.t_ccd_l + rows.saturating_sub(1) * switch;
+
+    // Pipeline-drain correction: with a contended token pool, multi-row
+    // jobs and a pool that does not divide the bank count, the final row
+    // wave cannot pack perfectly; on average half a row cycle of
+    // raggedness is exposed.
+    let drain = if conc < populated && rows >= 2 && !populated.is_multiple_of(conc) {
+        (beats_per_row * t.t_ccd_l + switch) / 2
+    } else {
+        0
+    };
+
+    t.with_refresh(t.t_rcd + throughput_bound.max(serial_bound) + drain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BankPhase;
+
+    fn cfg() -> HbmConfig {
+        HbmConfig::hbm3_8hi()
+    }
+
+    fn addr(cfg: &HbmConfig, i: u32) -> BankAddr {
+        BankAddr::from_index(&cfg.geometry, i)
+    }
+
+    #[test]
+    fn engine_streams_external_at_channel_rate() {
+        // Interleaved external reads across bank groups sustain one beat
+        // per tCCDS — the IDD7 pattern.
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        let t = cfg.timing.clone();
+        // Open a row in the first bank of each of 4 groups (one rank).
+        for gidx in 0..4 {
+            let b = BankAddr {
+                rank: 0,
+                group: gidx,
+                bank: 0,
+            };
+            eng.issue(DramCommand::Activate { bank: b, row: 0 }, AccessDepth::External, 0)
+                .unwrap();
+        }
+        // Issue 64 interleaved reads.
+        let mut last = 0;
+        for i in 0..64u32 {
+            let b = BankAddr {
+                rank: 0,
+                group: i % 4,
+                bank: 0,
+            };
+            last = eng
+                .issue(DramCommand::Read { bank: b }, AccessDepth::External, 0)
+                .unwrap();
+        }
+        // Steady state: 64 beats at tCCDS each (after tRCD warmup).
+        let expect = 63 * t.t_ccd_s;
+        assert!(
+            last >= expect && last <= expect + t.t_rcd + 4 * t.t_rrd,
+            "last = {last}, expect ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn engine_rejects_read_on_closed_row() {
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        let err = eng
+            .issue(
+                DramCommand::Read { bank: addr(&cfg, 0) },
+                AccessDepth::Bank,
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, TimingViolation::RowNotOpen { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn engine_rejects_double_activate() {
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        let b = addr(&cfg, 0);
+        eng.issue(DramCommand::Activate { bank: b, row: 1 }, AccessDepth::Bank, 0)
+            .unwrap();
+        let err = eng
+            .issue(DramCommand::Activate { bank: b, row: 2 }, AccessDepth::Bank, 0)
+            .unwrap_err();
+        assert!(matches!(err, TimingViolation::RowAlreadyOpen { .. }));
+    }
+
+    #[test]
+    fn tfaw_throttles_bursts_of_activates() {
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        let t = cfg.timing.clone();
+        let mut starts = Vec::new();
+        for i in 0..5 {
+            let b = addr(&cfg, i);
+            starts.push(
+                eng.issue(DramCommand::Activate { bank: b, row: 0 }, AccessDepth::Bank, 0)
+                    .unwrap(),
+            );
+        }
+        // All five banks are in rank 0; the fifth activate must wait tFAW
+        // after the first.
+        assert!(starts[4] >= starts[0] + t.t_faw, "starts = {starts:?}");
+    }
+
+    #[test]
+    fn precharge_closes_row() {
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        let b = addr(&cfg, 3);
+        eng.issue(DramCommand::Activate { bank: b, row: 5 }, AccessDepth::Bank, 0)
+            .unwrap();
+        assert_eq!(eng.bank(b).phase, BankPhase::Active);
+        eng.issue(DramCommand::Precharge { bank: b }, AccessDepth::Bank, 0)
+            .unwrap();
+        assert_eq!(eng.bank(b).phase, BankPhase::Idle);
+    }
+
+    #[test]
+    fn energy_accrues_per_command() {
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        let b = addr(&cfg, 0);
+        eng.issue(DramCommand::Activate { bank: b, row: 0 }, AccessDepth::Bank, 0)
+            .unwrap();
+        let after_act = eng.energy().total_pj();
+        assert!(after_act > 0.0);
+        eng.issue(DramCommand::Read { bank: b }, AccessDepth::Bank, 0)
+            .unwrap();
+        assert!(eng.energy().total_pj() > after_act);
+        assert!(eng.energy().compute_pj > 0.0, "bank read carries MAC energy");
+        assert_eq!(eng.issued_commands(), 2);
+    }
+
+    #[test]
+    fn pim_commands_expand_to_dram_commands() {
+        use crate::PimCommand;
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        // Activate 18 banks (the power budget), then stream 4 beats each.
+        let act = eng.issue_pim(PimCommand::ActAb { row: 0 }, 18, 0).unwrap();
+        assert_eq!(act.commands, 18);
+        let mut done = act.done_ps;
+        let mut macs = 0;
+        for _ in 0..4 {
+            let mac = eng.issue_pim(PimCommand::MacAb, 18, done).unwrap();
+            assert_eq!(mac.commands, 18);
+            macs += mac.commands;
+            done = mac.done_ps;
+        }
+        assert_eq!(macs, 72);
+        assert_eq!(eng.stats().column_commands(), 72);
+        // Buffer-die commands issue nothing.
+        let sfm = eng.issue_pim(PimCommand::Sfm { elems: 100 }, 0, done).unwrap();
+        assert_eq!(sfm.commands, 0);
+    }
+
+    #[test]
+    fn pim_mac_stream_rate_matches_stream_model() {
+        use crate::PimCommand;
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        let act = eng.issue_pim(PimCommand::ActAb { row: 0 }, 18, 0).unwrap();
+        // Stream 32 beats per bank (one row) via MAC_AB.
+        let mut done = act.done_ps;
+        for _ in 0..32 {
+            done = eng.issue_pim(PimCommand::MacAb, 18, done).unwrap().done_ps;
+        }
+        // 32 beats at tCCDL each after tRCD, plus the tFAW ramp of the 18
+        // activates (issue_pim routes through regular ACTs — conservative
+        // versus the paper's special all-bank activate, which
+        // simulate_stream models).
+        let faw_ramp = (18u64.div_ceil(4) - 1) * cfg.timing.t_faw;
+        let expect = faw_ramp + cfg.timing.t_rcd + 32 * cfg.timing.t_ccd_l;
+        assert!(
+            done >= 32 * cfg.timing.t_ccd_l && done <= expect + cfg.timing.t_faw,
+            "done = {done}, expect ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn act_ab_skips_open_banks() {
+        use crate::PimCommand;
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        eng.issue_pim(PimCommand::ActAb { row: 0 }, 4, 0).unwrap();
+        let second = eng.issue_pim(PimCommand::ActAb { row: 1 }, 4, 0).unwrap();
+        // The first four banks are busy; the next four are used instead.
+        assert_eq!(second.commands, 4);
+        let open: u32 = (0..cfg.geometry.banks_per_pch())
+            .filter(|&i| {
+                eng.bank(BankAddr::from_index(&cfg.geometry, i)).phase == BankPhase::Active
+            })
+            .count() as u32;
+        assert_eq!(open, 8);
+    }
+
+    #[test]
+    fn stats_track_commands_and_hits() {
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        let b = addr(&cfg, 2);
+        eng.issue(DramCommand::Activate { bank: b, row: 0 }, AccessDepth::External, 0)
+            .unwrap();
+        for _ in 0..4 {
+            eng.issue(DramCommand::Read { bank: b }, AccessDepth::External, 0)
+                .unwrap();
+        }
+        eng.issue(DramCommand::Write { bank: b }, AccessDepth::External, 0)
+            .unwrap();
+        eng.issue(DramCommand::Precharge { bank: b }, AccessDepth::External, 0)
+            .unwrap();
+        let s = eng.stats();
+        assert_eq!(s.acts[2], 1);
+        assert_eq!(s.reads[2], 4);
+        assert_eq!(s.writes[2], 1);
+        assert_eq!(s.precharges[2], 1);
+        assert_eq!(s.row_opens, 1);
+        assert_eq!(s.row_hits, 4);
+        assert!((s.row_hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(s.bus_busy_ps, 5 * cfg.timing.t_ccd_s);
+        assert_eq!(s.busiest_bank().0, 2);
+    }
+
+    #[test]
+    fn trace_records_commands_in_order() {
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        assert!(eng.trace().is_none());
+        eng.enable_trace(3);
+        let b = addr(&cfg, 0);
+        eng.issue(DramCommand::Activate { bank: b, row: 1 }, AccessDepth::Bank, 0)
+            .unwrap();
+        for _ in 0..5 {
+            eng.issue(DramCommand::Read { bank: b }, AccessDepth::Bank, 0)
+                .unwrap();
+        }
+        let trace = eng.trace().unwrap();
+        assert_eq!(trace.len(), 3, "trace respects its cap");
+        assert!(matches!(trace[0].1, DramCommand::Activate { .. }));
+        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn stream_sustains_power_limited_rate() {
+        // 32 banks, 18 tokens: sustained rate must be ≈ 18 beats/tCCDL,
+        // i.e. 9× the external channel rate, with row switches hidden.
+        let cfg = cfg();
+        let per_bank = 64 * 1024u64; // 64 KiB per bank, 64 rows
+        let spec = StreamSpec {
+            bytes_per_bank: vec![per_bank; 32],
+            max_active: cfg.power.max_active_banks,
+            depth: AccessDepth::Bank,
+        };
+        let out = simulate_stream(&cfg, &spec);
+        let total_beats = 32 * per_bank / 32;
+        let ideal = cfg.timing.with_refresh(total_beats * cfg.timing.t_ccd_l / 18);
+        let ratio = out.elapsed_ps as f64 / ideal as f64;
+        assert!(
+            ratio < 1.08,
+            "elapsed {} vs ideal {} (ratio {ratio})",
+            out.elapsed_ps,
+            ideal
+        );
+    }
+
+    #[test]
+    fn stream_exposes_row_switch_when_unconstrained() {
+        // With all 32 banks streaming simultaneously (no power cap), each
+        // bank's row switches cannot hide behind parked banks.
+        let cfg = cfg();
+        let per_bank = 64 * 1024u64;
+        let capped = simulate_stream(
+            &cfg,
+            &StreamSpec {
+                bytes_per_bank: vec![per_bank; 32],
+                max_active: 18,
+                depth: AccessDepth::Bank,
+            },
+        );
+        let uncapped = simulate_stream(
+            &cfg,
+            &StreamSpec {
+                bytes_per_bank: vec![per_bank; 32],
+                max_active: 32,
+                depth: AccessDepth::Bank,
+            },
+        );
+        // Uncapped is still faster in wall clock (more parallelism)…
+        assert!(uncapped.elapsed_ps < capped.elapsed_ps);
+        // …but it cannot reach the 32/18 speedup because tRC > row beats ×
+        // tCCDL exposes switches.
+        let speedup = capped.elapsed_ps as f64 / uncapped.elapsed_ps as f64;
+        assert!(speedup < 32.0 / 18.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn stream_counts_match_geometry() {
+        let cfg = cfg();
+        let spec = StreamSpec::uniform(&cfg.geometry, 1 << 20, 18);
+        let out = simulate_stream(&cfg, &spec);
+        assert_eq!(out.reads, (1 << 20) / 32);
+        // One activate per row per bank: 1 MiB / 1 KiB rows = 1024.
+        assert_eq!(out.activates, 1024);
+        assert!(out.energy.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn stream_estimate_tracks_simulation() {
+        let cfg = cfg();
+        for (bytes, active) in [(1u64 << 18, 18u32), (1 << 22, 18), (1 << 20, 6), (1 << 16, 32)] {
+            let spec = StreamSpec::uniform(&cfg.geometry, bytes, active);
+            let sim = simulate_stream(&cfg, &spec).elapsed_ps as f64;
+            let est = stream_time_estimate_ps(&cfg, &spec) as f64;
+            let err = (sim - est).abs() / sim;
+            assert!(err < 0.15, "bytes={bytes} active={active}: sim={sim} est={est}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_instant() {
+        let cfg = cfg();
+        let spec = StreamSpec {
+            bytes_per_bank: vec![0; 32],
+            max_active: 18,
+            depth: AccessDepth::Bank,
+        };
+        assert_eq!(simulate_stream(&cfg, &spec).reads, 0);
+        assert_eq!(stream_time_estimate_ps(&cfg, &spec), 0);
+    }
+
+    #[test]
+    fn uniform_spec_distributes_remainder() {
+        let cfg = cfg();
+        let spec = StreamSpec::uniform(&cfg.geometry, 100, 18);
+        assert_eq!(spec.total_bytes(), 100);
+        let max = spec.bytes_per_bank.iter().max().unwrap();
+        let min = spec.bytes_per_bank.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+}

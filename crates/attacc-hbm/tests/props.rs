@@ -1,0 +1,155 @@
+//! Property-based tests for the DRAM substrate.
+
+use attacc_hbm::engine::{simulate_stream, stream_time_estimate_ps};
+use attacc_hbm::{
+    AccessDepth, BankAddr, ChannelEngine, DramCommand, HbmConfig, StreamSpec, TimingParams,
+};
+use proptest::prelude::*;
+
+fn cfg() -> HbmConfig {
+    HbmConfig::hbm3_8hi()
+}
+
+proptest! {
+    /// Successive reads to one bank are never closer than tCCDL, and never
+    /// earlier than tRCD after its activate — regardless of request order.
+    #[test]
+    fn per_bank_read_cadence_holds(gaps in prop::collection::vec(0u64..5_000, 1..40)) {
+        let cfg = cfg();
+        let t = TimingParams::hbm3();
+        let mut eng = ChannelEngine::new(&cfg);
+        let b = BankAddr::from_index(&cfg.geometry, 0);
+        let act = eng
+            .issue(DramCommand::Activate { bank: b, row: 0 }, AccessDepth::Bank, 0)
+            .unwrap();
+        let mut prev: Option<u64> = None;
+        let mut at = 0;
+        for g in gaps {
+            at += g;
+            let s = eng
+                .issue(DramCommand::Read { bank: b }, AccessDepth::Bank, at)
+                .unwrap();
+            prop_assert!(s >= act + t.t_rcd);
+            if let Some(p) = prev {
+                prop_assert!(s >= p + t.t_ccd_l, "reads {p} and {s} too close");
+            }
+            prev = Some(s);
+        }
+    }
+
+    /// The channel bus never carries two external beats within tCCDS.
+    #[test]
+    fn channel_bus_cadence_holds(order in prop::collection::vec(0u32..8, 2..60)) {
+        let cfg = cfg();
+        let t = TimingParams::hbm3();
+        let mut eng = ChannelEngine::new(&cfg);
+        // Open row 0 in bank 0 of every group.
+        for g in 0..cfg.geometry.bank_groups_per_pch() {
+            let b = BankAddr::from_index(&cfg.geometry, g * cfg.geometry.banks_per_group);
+            eng.issue(DramCommand::Activate { bank: b, row: 0 }, AccessDepth::External, 0)
+                .unwrap();
+        }
+        let mut starts = Vec::new();
+        for g in order {
+            let b = BankAddr::from_index(&cfg.geometry, g * cfg.geometry.banks_per_group);
+            starts.push(
+                eng.issue(DramCommand::Read { bank: b }, AccessDepth::External, 0)
+                    .unwrap(),
+            );
+        }
+        starts.sort_unstable();
+        for w in starts.windows(2) {
+            prop_assert!(w[1] >= w[0] + t.t_ccd_s, "bus beats {w:?} overlap");
+        }
+    }
+
+    /// The closed-form stream estimate stays within 15% of the event-driven
+    /// simulation across sizes, skews and concurrency caps.
+    #[test]
+    fn stream_estimate_matches_engine(
+        kib_per_bank in 1u64..256,
+        active in 1u32..33,
+        populated in 1usize..33,
+    ) {
+        let cfg = cfg();
+        let mut bytes = vec![0u64; 32];
+        for b in bytes.iter_mut().take(populated) {
+            *b = kib_per_bank * 1024;
+        }
+        let spec = StreamSpec { bytes_per_bank: bytes, max_active: active, depth: AccessDepth::Bank };
+        let sim = simulate_stream(&cfg, &spec).elapsed_ps as f64;
+        let est = stream_time_estimate_ps(&cfg, &spec) as f64;
+        prop_assert!(sim > 0.0);
+        let err = (sim - est).abs() / sim;
+        prop_assert!(err < 0.15, "sim={sim} est={est} err={err}");
+    }
+
+    /// Streaming time is monotone non-increasing in the concurrency cap.
+    #[test]
+    fn stream_time_monotone_in_tokens(kib in 1u64..128) {
+        let cfg = cfg();
+        let mut prev = u64::MAX;
+        for active in [1u32, 2, 6, 12, 18, 32] {
+            let spec = StreamSpec::uniform(&cfg.geometry, kib * 1024 * 32, active);
+            let t = simulate_stream(&cfg, &spec).elapsed_ps;
+            prop_assert!(t <= prev, "active={active}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    /// Energy is linear in the streamed volume (same spec shape).
+    #[test]
+    fn stream_energy_linear(kib in 1u64..64) {
+        let cfg = cfg();
+        let one = simulate_stream(&cfg, &StreamSpec::uniform(&cfg.geometry, kib * 1024 * 32, 18));
+        let two = simulate_stream(&cfg, &StreamSpec::uniform(&cfg.geometry, 2 * kib * 1024 * 32, 18));
+        let ratio = two.energy.total_pj() / one.energy.total_pj();
+        prop_assert!((ratio - 2.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    /// PIM MAC_AB reads exactly the currently open banks; ACT_AB honors
+    /// its bank cap and never double-activates.
+    #[test]
+    fn pim_commands_respect_bank_state(cap in 1u32..33, rounds in 1u64..8) {
+        use attacc_hbm::PimCommand;
+        let cfg = cfg();
+        let mut eng = ChannelEngine::new(&cfg);
+        let act = eng.issue_pim(PimCommand::ActAb { row: 0 }, cap, 0).unwrap();
+        prop_assert_eq!(act.commands, u64::from(cap.min(32)));
+        let mut t = act.done_ps;
+        for _ in 0..rounds {
+            let mac = eng.issue_pim(PimCommand::MacAb, cap, t).unwrap();
+            prop_assert_eq!(mac.commands, u64::from(cap.min(32)));
+            prop_assert!(mac.done_ps >= t + cfg.timing.t_ccd_l);
+            t = mac.done_ps;
+        }
+        // A second ActAb can only open the remaining banks.
+        let second = eng.issue_pim(PimCommand::ActAb { row: 1 }, 32, t).unwrap();
+        prop_assert_eq!(second.commands, u64::from(32 - cap.min(32)));
+        prop_assert_eq!(
+            eng.stats().column_commands(),
+            rounds * u64::from(cap.min(32))
+        );
+    }
+
+    /// Reads never exceed what the data volume requires, and activates
+    /// never exceed one per row touched.
+    #[test]
+    fn stream_command_counts_bounded(total_kib in 1u64..512, active in 1u32..33) {
+        let cfg = cfg();
+        let spec = StreamSpec::uniform(&cfg.geometry, total_kib * 1024, active);
+        let out = simulate_stream(&cfg, &spec);
+        let beats: u64 = spec
+            .bytes_per_bank
+            .iter()
+            .map(|b| b.div_ceil(cfg.geometry.prefetch_bytes))
+            .sum();
+        prop_assert_eq!(out.reads, beats);
+        let max_rows: u64 = spec
+            .bytes_per_bank
+            .iter()
+            .map(|b| b.div_ceil(cfg.geometry.row_bytes).max(u64::from(*b > 0)))
+            .sum();
+        prop_assert!(out.activates <= max_rows + 32);
+    }
+}

@@ -1,0 +1,112 @@
+//! Parametric GPT-family scaling: derive a plausible architecture from a
+//! parameter budget.
+//!
+//! The paper's trend argument (§1, Table 1) is about model *scale*; this
+//! module generates intermediate GPT-shaped configurations for sweeps
+//! between the named presets, following the family's empirical rules:
+//! `d_ff = 4·d_emb`, `d_head = 128`, and depth growing with width
+//! (`n_layer ≈ d_emb / 128`).
+
+use crate::{DataType, ModelConfig};
+
+/// Derives a GPT-shaped configuration with approximately `target_params`
+/// parameters.
+///
+/// The search walks widths in 128-lane steps (multiples of `d_head`) and
+/// picks the depth that lands closest to the target; the result is always
+/// a valid configuration within ~10% of the target for budgets ≥ 100 M.
+///
+/// # Panics
+/// Panics if `target_params` is below 10 million (no sensible GPT shape
+/// exists down there).
+#[must_use]
+pub fn gpt_shaped(target_params: u64, dtype: DataType) -> ModelConfig {
+    assert!(
+        target_params >= 10_000_000,
+        "target too small for a GPT-shaped model"
+    );
+    const D_HEAD: u64 = 128;
+    const VOCAB: u64 = 50_257;
+    let mut best: Option<(u64, ModelConfig)> = None;
+    let mut width = D_HEAD;
+    loop {
+        // Params per decoder at this width: 12·d² (QKV 3d² + proj d² +
+        // FF 8d²).
+        let per_decoder = 12 * width * width;
+        let embed = VOCAB * width;
+        if embed >= target_params && width > D_HEAD {
+            break;
+        }
+        let layers = ((target_params - embed.min(target_params)) / per_decoder).max(1);
+        // The GPT family keeps depth roughly between width/256 and
+        // width/32 (e.g. 12 × 768, 32 × 4096, 96 × 12288); skip shapes
+        // outside that aspect band.
+        let in_band = |l: u64| l * 256 >= width && l <= width / 32 + 8;
+        for l in [layers, layers + 1] {
+            if !in_band(l) && best.is_some() {
+                continue;
+            }
+            let m = ModelConfig::builder(format!("GPT-{:.1}B", target_params as f64 / 1e9))
+                .decoders(u32::try_from(l.min(1_000)).expect("bounded"))
+                .embedding(width)
+                .heads(u32::try_from(width / D_HEAD).expect("bounded"))
+                .feedforward(4 * width)
+                .vocab(VOCAB)
+                .max_seq_len(2048)
+                .dtype(dtype)
+                .build()
+                .expect("derived shapes are valid");
+            let err = m.n_params().abs_diff(target_params);
+            if best.as_ref().is_none_or(|(e, _)| err < *e) {
+                best = Some((err, m));
+            }
+        }
+        width += D_HEAD;
+        if width > 32_768 {
+            break;
+        }
+    }
+    best.expect("search space is non-empty").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_targets_within_ten_percent() {
+        for target in [350_000_000u64, 1_500_000_000, 13_000_000_000, 175_000_000_000] {
+            let m = gpt_shaped(target, DataType::Fp16);
+            let got = m.n_params() as f64;
+            let err = (got - target as f64).abs() / target as f64;
+            assert!(err < 0.10, "target {target}: got {got} ({err:.2})");
+        }
+    }
+
+    #[test]
+    fn derived_shapes_look_like_the_family() {
+        let m = gpt_shaped(6_700_000_000, DataType::Fp16);
+        assert_eq!(m.d_head, 128);
+        assert_eq!(m.d_ff, 4 * m.d_emb);
+        assert!(m.n_decoder >= 16);
+        // Same size class as the real GPT-3 6.7B (32 × 4096), within the
+        // family's aspect band.
+        assert!((2048..=6144).contains(&m.d_emb), "d_emb = {}", m.d_emb);
+        let depth = u64::from(m.n_decoder);
+        assert!(depth * 256 >= m.d_emb && depth <= m.d_emb / 32 + 8);
+    }
+
+    #[test]
+    fn params_monotone_in_target() {
+        let a = gpt_shaped(1_000_000_000, DataType::Fp16).n_params();
+        let b = gpt_shaped(10_000_000_000, DataType::Fp16).n_params();
+        let c = gpt_shaped(100_000_000_000, DataType::Fp16).n_params();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    #[should_panic(expected = "target too small")]
+    fn rejects_tiny_targets() {
+        let _ = gpt_shaped(1_000, DataType::Fp16);
+    }
+}

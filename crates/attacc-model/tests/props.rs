@@ -1,0 +1,132 @@
+//! Property-based tests for the workload-accounting layer.
+
+use attacc_model::{
+    AttentionVariant, AttnShape, DataType, KvCacheSpec, ModelConfig, Op, Phase, StageWorkload,
+};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ModelConfig> {
+    (
+        1u32..8,          // decoders
+        1u64..16,         // heads
+        1u64..64,         // d_head
+        1u64..512,        // d_ff
+        10u64..1000,      // vocab
+        prop_oneof![Just(DataType::Fp16), Just(DataType::Int8), Just(DataType::Fp32)],
+    )
+        .prop_map(|(dec, heads, d_head, d_ff, vocab, dt)| {
+            ModelConfig::builder("prop")
+                .decoders(dec)
+                .embedding(heads * d_head)
+                .heads(heads as u32)
+                .feedforward(d_ff)
+                .vocab(vocab)
+                .max_seq_len(4096)
+                .dtype(dt)
+                .build()
+                .expect("strategy only generates valid configs")
+        })
+}
+
+proptest! {
+    /// Gen-stage FLOPs are exactly linear in batch size (weights shared,
+    /// per-request work identical).
+    #[test]
+    fn gen_flops_linear_in_batch(m in arb_model(), l in 1u64..300, b in 1u64..20) {
+        let f1 = StageWorkload::uniform(&m, Phase::gen(l), 1).flops();
+        let fb = StageWorkload::uniform(&m, Phase::gen(l), b).flops();
+        prop_assert_eq!(fb, b * f1);
+    }
+
+    /// Weight traffic never depends on batch size.
+    #[test]
+    fn weight_traffic_batch_invariant(m in arb_model(), l in 1u64..300, b in 2u64..20) {
+        let w1 = StageWorkload::uniform(&m, Phase::gen(l), 1).traffic().weight_bytes;
+        let wb = StageWorkload::uniform(&m, Phase::gen(l), b).traffic().weight_bytes;
+        prop_assert_eq!(w1, wb);
+    }
+
+    /// KV traffic is linear in both batch and context length.
+    #[test]
+    fn kv_traffic_bilinear(m in arb_model(), l in 1u64..200, b in 1u64..10) {
+        let base = StageWorkload::uniform(&m, Phase::gen(l), 1).attention_op().unwrap().traffic().kv_bytes;
+        let scaled = StageWorkload::uniform(&m, Phase::gen(l), b).attention_op().unwrap().traffic().kv_bytes;
+        prop_assert_eq!(scaled, b * base);
+        let doubled = StageWorkload::uniform(&m, Phase::gen(2 * l), 1).attention_op().unwrap().traffic().kv_bytes;
+        prop_assert_eq!(doubled, 2 * base);
+    }
+
+    /// Attention arithmetic intensity does not change with batch size
+    /// (Fig. 3's "dots located at the same point regardless of batch").
+    #[test]
+    fn attention_intensity_batch_invariant(m in arb_model(), l in 1u64..300, b in 2u64..32) {
+        let op = |batch| Op::Attention {
+            groups: vec![AttnShape { n_requests: batch, l, q_rows: 1 }],
+            n_head: m.n_head,
+            kv_heads: m.kv_heads(),
+            d_head: m.d_head,
+            kv_dtype: m.kv_dtype,
+            act_dtype: m.dtype,
+        };
+        let a = op(1).op_per_byte().unwrap();
+        let c = op(b).op_per_byte().unwrap();
+        prop_assert!((a - c).abs() < 1e-9);
+    }
+
+    /// Splitting a batch into heterogeneous context groups conserves both
+    /// FLOPs and KV traffic versus running the groups separately.
+    #[test]
+    fn heterogeneous_groups_conserve_work(
+        m in arb_model(),
+        l1 in 1u64..150, l2 in 1u64..150,
+        n1 in 1u64..8, n2 in 1u64..8,
+    ) {
+        let hetero = StageWorkload::gen_with_contexts(&m, &[(n1, l1), (n2, l2)]);
+        let a = StageWorkload::uniform(&m, Phase::gen(l1), n1);
+        let b = StageWorkload::uniform(&m, Phase::gen(l2), n2);
+        let att_flops = |w: &StageWorkload| w.attention_op().unwrap().flops();
+        prop_assert_eq!(att_flops(&hetero), att_flops(&a) + att_flops(&b));
+        let att_kv = |w: &StageWorkload| w.attention_op().unwrap().traffic().kv_bytes;
+        prop_assert_eq!(att_kv(&hetero), att_kv(&a) + att_kv(&b));
+    }
+
+    /// Per-class aggregation is a partition: totals match the stage sums.
+    #[test]
+    fn per_class_partitions_stage(m in arb_model(), l in 1u64..200, b in 1u64..8) {
+        let wl = StageWorkload::uniform(&m, Phase::gen(l), b);
+        let per = wl.per_class();
+        prop_assert_eq!(per.iter().map(|(_, f, _)| *f).sum::<u64>(), wl.flops());
+        prop_assert_eq!(
+            per.iter().map(|(_, _, t)| t.total()).sum::<u64>(),
+            wl.traffic().total()
+        );
+    }
+
+    /// GQA with group g divides KV bytes by exactly g while preserving
+    /// attention FLOPs.
+    #[test]
+    fn gqa_divides_kv(d_head in 1u64..64, g in 1u32..5) {
+        let heads = 12u32; // divisible by 1..=4 and 6, 12
+        if !heads.is_multiple_of(g) { return Ok(()); }
+        let base = ModelConfig::builder("g")
+            .decoders(2).embedding(u64::from(heads) * d_head).heads(heads)
+            .feedforward(64).vocab(100).dtype(DataType::Fp16)
+            .build().unwrap();
+        let gqa = base.with_attention(AttentionVariant::Gqa { group_size: g });
+        let kv = |m: &ModelConfig| KvCacheSpec::of(m).bytes_per_token;
+        prop_assert_eq!(kv(&base), u64::from(g) * kv(&gqa));
+    }
+
+    /// KV-cache sizing is consistent between the spec and the append op.
+    #[test]
+    fn kv_spec_matches_append_traffic(m in arb_model(), b in 1u64..10) {
+        let wl = StageWorkload::uniform(&m, Phase::gen(10), b);
+        let append: u64 = wl
+            .iter_unique_ops()
+            .filter(|(op, _)| matches!(op, Op::KvAppend { .. }))
+            .map(|(op, n)| op.traffic().kv_bytes * n)
+            .sum();
+        // One token appended per request per stage across all decoders.
+        prop_assert_eq!(append, KvCacheSpec::of(&m).bytes_per_token * b);
+    }
+}

@@ -1,0 +1,146 @@
+//! The AttAcc instruction set (§5.2): one `Att_inst` per API function.
+//!
+//! The host programs AttAcc through a CUDA/OpenCL-style offload model:
+//! `AttAcc::SetModel` and `AttAcc::UpdateRequest` fill the config memory,
+//! `AttAcc::MemCopy` moves Q/K/V vectors and results, and
+//! `AttAcc::RunAttention` launches one head's attention. The
+//! [`crate::AttAccController`] executes these instructions functionally.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An instruction delivered to the AttAcc controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttInst {
+    /// `AttAcc::SetModel`: configure head geometry. The config memory
+    /// stores `N_head`, `d_head` and the maximum context length (§5.1),
+    /// which sizes each head's physical KV extents.
+    SetModel {
+        /// Query heads per request.
+        n_head: u32,
+        /// Per-head dimension.
+        d_head: usize,
+        /// Maximum context length a request may reach.
+        max_l: u64,
+    },
+    /// `AttAcc::UpdateRequest`: admit a request (KV length starts at 0) or
+    /// remove a completed one, freeing its stacks.
+    UpdateRequest {
+        /// Request id.
+        request: u64,
+        /// `true` to remove, `false` to admit.
+        remove: bool,
+    },
+    /// `AttAcc::MemCopy` toward AttAcc: append one token's K and V vectors
+    /// to a head's matrices.
+    AppendKv {
+        /// Owning request.
+        request: u64,
+        /// Head index.
+        head: u32,
+        /// New key vector (`d_head` values).
+        k: Vec<f32>,
+        /// New value vector (`d_head` values).
+        v: Vec<f32>,
+    },
+    /// `AttAcc::MemCopy` of the Q vector into the head's GEMV buffers.
+    LoadQ {
+        /// Owning request.
+        request: u64,
+        /// Head index.
+        head: u32,
+        /// Query vector (`d_head` values).
+        q: Vec<f32>,
+    },
+    /// `AttAcc::RunAttention`: execute score → softmax → context for one
+    /// head using the loaded Q and resident KV.
+    RunAttention {
+        /// Owning request.
+        request: u64,
+        /// Head index.
+        head: u32,
+    },
+    /// `AttAcc::MemCopy` toward the host: read a head's context output.
+    ReadOutput {
+        /// Owning request.
+        request: u64,
+        /// Head index.
+        head: u32,
+    },
+}
+
+/// Errors the controller can raise while executing instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstError {
+    /// `SetModel` has not been executed yet.
+    NotConfigured,
+    /// The request is not resident in the config memory.
+    UnknownRequest(u64),
+    /// The head index exceeds the configured head count.
+    UnknownHead(u32),
+    /// A vector's length does not match `d_head`.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// `RunAttention` before any KV vectors were appended.
+    EmptyKv,
+    /// `RunAttention` before the Q vector was loaded.
+    MissingQ,
+    /// `ReadOutput` before `RunAttention`.
+    NoOutput,
+    /// Admitting the request would exceed device KV capacity.
+    CapacityExceeded,
+}
+
+impl fmt::Display for InstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstError::NotConfigured => write!(f, "SetModel has not been executed"),
+            InstError::UnknownRequest(r) => write!(f, "request {r} is not resident"),
+            InstError::UnknownHead(h) => write!(f, "head {h} exceeds the configured head count"),
+            InstError::DimensionMismatch { expected, got } => {
+                write!(f, "vector length {got} does not match d_head {expected}")
+            }
+            InstError::EmptyKv => write!(f, "attention launched with an empty KV cache"),
+            InstError::MissingQ => write!(f, "attention launched before the Q vector was loaded"),
+            InstError::NoOutput => write!(f, "no attention output available to read"),
+            InstError::CapacityExceeded => write!(f, "device KV capacity exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for InstError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        for e in [
+            InstError::NotConfigured,
+            InstError::UnknownRequest(3),
+            InstError::UnknownHead(9),
+            InstError::DimensionMismatch { expected: 4, got: 5 },
+            InstError::EmptyKv,
+            InstError::MissingQ,
+            InstError::NoOutput,
+            InstError::CapacityExceeded,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn instructions_have_useful_debug() {
+        let inst = AttInst::LoadQ {
+            request: 1,
+            head: 2,
+            q: vec![0.5, 1.0],
+        };
+        assert!(format!("{inst:?}").contains("LoadQ"));
+    }
+}

@@ -1,0 +1,63 @@
+//! The AttAcc processing-in-memory architecture (§4–§6 of the paper).
+//!
+//! This crate implements both faces of AttAcc:
+//!
+//! * **Functional**: GEMV units (16 FP16 multiply lanes with adder-tree and
+//!   accumulator modes), the 3-stage softmax unit, hierarchical
+//!   accumulators, and the §4.2 data-mapping policies, all executing on
+//!   real numbers. Property tests prove the partitioned dataflow is
+//!   numerically equivalent to a reference attention implementation.
+//! * **Timing/energy**: the design-space points AttAcc_buffer / AttAcc_BG /
+//!   AttAcc_bank with their power-constrained internal bandwidths, the area
+//!   model of §7.7, per-head attention execution with attention-level
+//!   pipelining (§6.1), and the device-level model `attacc-sim` composes
+//!   into the heterogeneous platform.
+//!
+//! # Example
+//!
+//! ```
+//! use attacc_pim::{AttAccDevice, GemvPlacement};
+//! use attacc_model::ModelConfig;
+//!
+//! let dev = AttAccDevice::paper_40_stacks(GemvPlacement::Bank);
+//! let m = ModelConfig::gpt3_175b();
+//! // One Gen-stage decoder of GPT-3 at batch 32, L = 2048:
+//! let t = dev.attention_decoder_time(&m, &[(32, 2048)], true);
+//! assert!(t.total_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulator;
+pub mod area;
+pub mod attention;
+pub mod bitwise;
+pub mod controller;
+pub mod device;
+pub mod gemv_unit;
+pub mod head_pipeline;
+pub mod isa;
+pub mod kv_store;
+pub mod mapping;
+pub mod numeric;
+pub mod placement;
+pub mod schedule;
+pub mod softmax_unit;
+pub mod systolic;
+pub mod timing_exec;
+
+pub use area::{AreaReport, ProcessNode};
+pub use attention::{AttentionTiming, HeadJob};
+pub use controller::{AttAccController, ConfigMemory};
+pub use device::AttAccDevice;
+pub use gemv_unit::{GemvMode, GemvUnit, Precision};
+pub use head_pipeline::{schedule_stack, HeadPhase, HeadTimeline, Segment};
+pub use isa::{AttInst, InstError};
+pub use kv_store::{KvHalf, KvStore, KvStoreFull};
+pub use mapping::{HeadAllocator, LevelSpec, MappingPolicy, Partitioning};
+pub use placement::GemvPlacement;
+pub use schedule::{schedule_head, HeadSchedule, ScheduledCommand};
+pub use softmax_unit::SoftmaxUnit;
+pub use systolic::SystolicGemvUnit;
+pub use timing_exec::{execute_head, HeadTrace};

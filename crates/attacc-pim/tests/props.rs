@@ -1,0 +1,185 @@
+//! Property-based tests: the partitioned PIM dataflow is numerically
+//! equivalent to reference attention for arbitrary shapes and mappings.
+
+use attacc_hbm::StackGeometry;
+use attacc_pim::accumulator::Accumulator;
+use attacc_pim::mapping::hierarchical_gemv;
+use attacc_pim::numeric::{attention_ref, Matrix};
+use attacc_pim::{
+    AttAccController, AttInst, GemvMode, GemvUnit, HeadAllocator, LevelSpec, MappingPolicy,
+    Partitioning, Precision,
+};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = MappingPolicy> {
+    let level = (1usize..6, prop_oneof![
+        Just(Partitioning::RowWise),
+        Just(Partitioning::ColWise)
+    ])
+        .prop_map(|(fanout, partitioning)| LevelSpec { fanout, partitioning });
+    (
+        prop::collection::vec(level, 0..4),
+        prop_oneof![Just(GemvMode::AdderTree), Just(GemvMode::Accumulator)],
+    )
+        .prop_map(|(levels, unit_mode)| MappingPolicy { levels, unit_mode })
+}
+
+fn arb_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec((-100i32..100).prop_map(|v| v as f32 * 0.01), len..=len)
+}
+
+#[allow(clippy::needless_range_loop)]
+fn reference_gemv(x: &[f32], m: &Matrix) -> Vec<f64> {
+    let mut y = vec![0.0f64; m.cols()];
+    for (j, y_j) in y.iter_mut().enumerate() {
+        for r in 0..m.rows() {
+            *y_j += f64::from(x[r]) * f64::from(m.get(r, j));
+        }
+    }
+    y
+}
+
+proptest! {
+    /// ANY hierarchical mapping policy computes the exact GEMV.
+    #[test]
+    fn any_mapping_policy_is_exact(
+        policy in arb_policy(),
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let x: Vec<f32> = (0..k).map(|i| ((i as u64 * 7 + seed) % 13) as f32 * 0.1 - 0.6).collect();
+        let data: Vec<f32> = (0..k * n)
+            .map(|i| ((i as u64 * 11 + seed * 3) % 17) as f32 * 0.05 - 0.4)
+            .collect();
+        let m = Matrix::from_vec(k, n, data);
+        let got = hierarchical_gemv(&GemvUnit::exact(), &Accumulator::exact(), &policy, &x, &m);
+        let want = reference_gemv(&x, &m);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((f64::from(*g) - w).abs() < 1e-3, "{} vs {}", g, w);
+        }
+    }
+
+    /// The full controller pipeline (AppendKv → LoadQ → RunAttention →
+    /// ReadOutput) matches reference attention for arbitrary shapes.
+    #[test]
+    fn controller_attention_matches_reference(
+        d_exp in 1u32..5,          // d_head in {2,4,8,16}
+        l in 1usize..24,
+        kv in arb_vec(16 * 24 * 2),
+        q in arb_vec(16),
+    ) {
+        let d = 1usize << d_exp;
+        let geom = StackGeometry {
+            pseudo_channels: 2,
+            bank_groups_per_rank: 2,
+            ranks: 1,
+            banks_per_group: 2,
+            ..StackGeometry::hbm3_8hi()
+        };
+        let mut ctl = AttAccController::new(&geom, 2, Precision::Exact);
+        ctl.execute(AttInst::SetModel { n_head: 1, d_head: d, max_l: 4096 }).unwrap();
+        ctl.execute(AttInst::UpdateRequest { request: 0, remove: false }).unwrap();
+        let mut kt = vec![0.0f32; d * l];
+        let mut v = vec![0.0f32; l * d];
+        for tok in 0..l {
+            let kvec: Vec<f32> = (0..d).map(|i| kv[(tok * d + i) * 2]).collect();
+            let vvec: Vec<f32> = (0..d).map(|i| kv[(tok * d + i) * 2 + 1]).collect();
+            for i in 0..d {
+                kt[i * l + tok] = kvec[i];
+                v[tok * d + i] = vvec[i];
+            }
+            ctl.execute(AttInst::AppendKv { request: 0, head: 0, k: kvec, v: vvec }).unwrap();
+        }
+        let qv: Vec<f32> = q[..d].to_vec();
+        ctl.execute(AttInst::LoadQ { request: 0, head: 0, q: qv.clone() }).unwrap();
+        ctl.execute(AttInst::RunAttention { request: 0, head: 0 }).unwrap();
+        let got = ctl.execute(AttInst::ReadOutput { request: 0, head: 0 }).unwrap().unwrap();
+        let want = attention_ref(&qv, &kt, &v, l);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((f64::from(*g) - w).abs() < 1e-3, "{} vs {}", g, w);
+        }
+    }
+
+    /// The FP16 datapath stays within a small absolute error of the exact
+    /// result (softmax outputs are bounded by 1, so context values are
+    /// bounded by max |V|).
+    #[test]
+    fn fp16_dataflow_bounded_error(
+        l in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        let d = 8usize;
+        let geom = StackGeometry {
+            pseudo_channels: 2,
+            bank_groups_per_rank: 2,
+            ranks: 1,
+            banks_per_group: 2,
+            ..StackGeometry::hbm3_8hi()
+        };
+        let gen = |a: u64, b: usize| ((a * 37 + b as u64 * 13 + seed) % 19) as f32 * 0.1 - 0.9;
+        let run = |precision| {
+            let mut ctl = AttAccController::new(&geom, 1, precision);
+            ctl.execute(AttInst::SetModel { n_head: 1, d_head: d, max_l: 4096 }).unwrap();
+            ctl.execute(AttInst::UpdateRequest { request: 0, remove: false }).unwrap();
+            for tok in 0..l {
+                let k: Vec<f32> = (0..d).map(|i| gen(tok as u64, i)).collect();
+                let v: Vec<f32> = (0..d).map(|i| gen(tok as u64 + 999, i)).collect();
+                ctl.execute(AttInst::AppendKv { request: 0, head: 0, k, v }).unwrap();
+            }
+            let q: Vec<f32> = (0..d).map(|i| gen(777, i)).collect();
+            ctl.execute(AttInst::LoadQ { request: 0, head: 0, q }).unwrap();
+            ctl.execute(AttInst::RunAttention { request: 0, head: 0 }).unwrap();
+            ctl.execute(AttInst::ReadOutput { request: 0, head: 0 }).unwrap().unwrap()
+        };
+        let exact = run(Precision::Exact);
+        let fp16 = run(Precision::Fp16);
+        for (e, f) in exact.iter().zip(&fp16) {
+            prop_assert!((e - f).abs() < 0.05, "{} vs {}", e, f);
+        }
+    }
+
+    /// Greedy head allocation keeps the imbalance within one head of the
+    /// mean when heads are identical.
+    #[test]
+    fn greedy_allocation_near_balanced(
+        n_stacks in 1usize..64,
+        requests in 1u64..40,
+        heads in 1u32..32,
+        bytes in 1u64..10_000,
+    ) {
+        let mut a = HeadAllocator::new(n_stacks);
+        for r in 0..requests {
+            a.allocate(r, heads, bytes);
+        }
+        let min = (0..n_stacks).map(|s| a.load(s)).min().unwrap();
+        prop_assert!(a.max_load() - min <= bytes, "max {} min {}", a.max_load(), min);
+    }
+
+    /// Allocation followed by release is a no-op on the loads.
+    #[test]
+    fn allocate_release_roundtrip(
+        n_stacks in 1usize..16,
+        ops in prop::collection::vec((0u64..8, 1u32..8, 1u64..100), 1..30),
+    ) {
+        let mut a = HeadAllocator::new(n_stacks);
+        let mut live: Vec<u64> = Vec::new();
+        for (req, heads, bytes) in ops {
+            if live.contains(&req) {
+                a.release(req);
+                live.retain(|&r| r != req);
+            } else {
+                a.allocate(req, heads, bytes);
+                live.push(req);
+            }
+        }
+        for &r in &live {
+            a.release(r);
+        }
+        prop_assert_eq!(a.total_load(), 0);
+        for s in 0..n_stacks {
+            prop_assert_eq!(a.load(s), 0);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Memory-capacity batch-size limits (§3.2).
+
+/// Largest number of concurrent requests whose KV caches fit in
+/// `kv_capacity_bytes` when every request may grow to `max_context`
+/// tokens at `kv_bytes_per_token`.
+///
+/// Returns `u64::MAX` when the per-token cost is zero (unlimited studies).
+///
+/// # Example
+/// ```
+/// use attacc_serving::max_batch_by_capacity;
+/// use attacc_model::{KvCacheSpec, ModelConfig, GIB};
+///
+/// let m = ModelConfig::gpt3_175b();
+/// let spec = KvCacheSpec::of(&m);
+/// // §3.2: DGX's 640 GB minus 326 GB of weights leaves room for ~17
+/// // requests at (2048, 2048).
+/// let free = 640 * GIB - m.weight_bytes();
+/// let b = max_batch_by_capacity(free, spec.bytes_per_token, 4096);
+/// assert!((17..=18).contains(&b));
+/// ```
+#[must_use]
+pub fn max_batch_by_capacity(
+    kv_capacity_bytes: u64,
+    kv_bytes_per_token: u64,
+    max_context: u64,
+) -> u64 {
+    if kv_bytes_per_token == 0 || max_context == 0 {
+        return u64::MAX;
+    }
+    kv_capacity_bytes / (kv_bytes_per_token * max_context)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cost_is_unlimited() {
+        assert_eq!(max_batch_by_capacity(100, 0, 10), u64::MAX);
+        assert_eq!(max_batch_by_capacity(100, 10, 0), u64::MAX);
+    }
+
+    #[test]
+    fn monotone_in_capacity() {
+        assert!(max_batch_by_capacity(1000, 10, 5) <= max_batch_by_capacity(2000, 10, 5));
+    }
+
+    #[test]
+    fn exact_division() {
+        assert_eq!(max_batch_by_capacity(1000, 10, 10), 10);
+        assert_eq!(max_batch_by_capacity(999, 10, 10), 9);
+    }
+}

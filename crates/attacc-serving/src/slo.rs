@@ -1,0 +1,90 @@
+//! SLO-constrained batch-size search (§3.2, §7.3).
+
+use crate::scheduler::StageExecutor;
+
+/// Largest batch whose per-iteration (token-generation) latency stays
+/// within `slo_s`, evaluated at context length `l_eval` (the paper
+/// evaluates at the average sequence length of the batch), capped by
+/// `max_batch` (the capacity limit).
+///
+/// Returns 0 when even a single request violates the SLO.
+///
+/// Latency is monotone non-decreasing in batch size for every system we
+/// model, so a binary search suffices; a debug assertion guards the
+/// assumption.
+#[must_use]
+pub fn max_batch_under_slo<E: StageExecutor>(
+    executor: &E,
+    slo_s: f64,
+    l_eval: u64,
+    max_batch: u64,
+) -> u64 {
+    assert!(slo_s > 0.0, "SLO must be positive");
+    if max_batch == 0 {
+        return 0;
+    }
+    let latency = |b: u64| executor.gen_stage(&[(b, l_eval)]).latency_s;
+    if latency(1) > slo_s {
+        return 0;
+    }
+    if latency(max_batch) <= slo_s {
+        return max_batch;
+    }
+    let (mut lo, mut hi) = (1u64, max_batch); // latency(lo) ≤ slo < latency(hi)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if latency(mid) <= slo_s {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    debug_assert!(latency(lo) <= slo_s);
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::StageCost;
+
+    /// Iteration latency = 2 ms + 0.5 ms per request.
+    struct Linear;
+    impl StageExecutor for Linear {
+        fn sum_stage(&self, _batch: u64, _l_in: u64) -> StageCost {
+            StageCost::default()
+        }
+        fn gen_stage(&self, groups: &[(u64, u64)]) -> StageCost {
+            let n: u64 = groups.iter().map(|g| g.0).sum();
+            StageCost {
+                latency_s: 2e-3 + 0.5e-3 * n as f64,
+                energy_j: 0.0,
+            }
+        }
+    }
+
+    #[test]
+    fn finds_exact_boundary() {
+        // 2 + 0.5·b ≤ 50 → b ≤ 96.
+        assert_eq!(max_batch_under_slo(&Linear, 50e-3, 2048, 1000), 96);
+    }
+
+    #[test]
+    fn capacity_cap_applies() {
+        assert_eq!(max_batch_under_slo(&Linear, 50e-3, 2048, 10), 10);
+    }
+
+    #[test]
+    fn impossible_slo_gives_zero() {
+        assert_eq!(max_batch_under_slo(&Linear, 1e-3, 2048, 1000), 0);
+        assert_eq!(max_batch_under_slo(&Linear, 50e-3, 2048, 0), 0);
+    }
+
+    #[test]
+    fn tighter_slo_smaller_batch() {
+        let loose = max_batch_under_slo(&Linear, 70e-3, 2048, 1000);
+        let tight = max_batch_under_slo(&Linear, 30e-3, 2048, 1000);
+        assert!(tight < loose);
+        assert_eq!(tight, 56);
+    }
+}

@@ -1,0 +1,40 @@
+//! End-to-end heterogeneous-system simulation for the AttAcc paper.
+//!
+//! This is the top of the stack: it composes the GPU roofline
+//! (`attacc-xpu`), the PIM device (`attacc-pim` over `attacc-hbm`) and the
+//! serving layer (`attacc-serving`) into the five platforms the paper
+//! evaluates — `DGX_Base`, `DGX_Large`, `DGX+AttAccs` (with head-level
+//! pipelining and feedforward co-processing), `DGX_CPU` and `2×DGX` — and
+//! provides one driver per table/figure of the evaluation (§7).
+//!
+//! # Example
+//!
+//! ```
+//! use attacc_sim::{System, SystemExecutor};
+//! use attacc_model::ModelConfig;
+//! use attacc_serving::StageExecutor;
+//!
+//! let model = ModelConfig::gpt3_175b();
+//! let base = SystemExecutor::new(System::dgx_base(), &model);
+//! let pim = SystemExecutor::new(System::dgx_attacc_full(), &model);
+//! // One Gen iteration, batch 32 at L = 2048: the PIM platform wins.
+//! let t_base = base.gen_stage(&[(32, 2048)]).latency_s;
+//! let t_pim = pim.gen_stage(&[(32, 2048)]).latency_s;
+//! assert!(t_pim < t_base);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod exec;
+pub mod experiment;
+pub mod provision;
+pub mod report;
+pub mod sweep;
+pub mod system;
+pub mod validate;
+
+pub use exec::SystemExecutor;
+pub use report::Table;
+pub use system::{System, SystemKind};

@@ -1,0 +1,74 @@
+//! Property-based tests for the system-level simulator.
+
+use attacc_model::ModelConfig;
+use attacc_serving::StageExecutor;
+use attacc_sim::breakdown::energy_breakdown;
+use attacc_sim::experiment::steady_state_groups;
+use attacc_sim::sweep::speedup_grid;
+use attacc_sim::{System, SystemExecutor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The energy decomposition reproduces the executor's total on every
+    /// platform and batch shape.
+    #[test]
+    fn breakdown_sums_to_reported_energy(b in 1u64..96, l in 256u64..4000) {
+        let m = ModelConfig::gpt3_175b();
+        for system in [System::dgx_base(), System::dgx_large(), System::dgx_attacc_full()] {
+            let exec = SystemExecutor::new(system.clone(), &m);
+            let groups = [(b, l)];
+            let parts = energy_breakdown(&exec, &groups).total_j();
+            let reported = exec.gen_stage(&groups).energy_j;
+            let err = (parts - reported).abs() / reported;
+            prop_assert!(err < 0.15, "{}: parts {parts} vs {reported}", system.name());
+        }
+    }
+
+    /// Steady-state groups always cover the batch exactly and stay within
+    /// the context range.
+    #[test]
+    fn steady_groups_partition_batch(b in 1u64..512, l_in in 1u64..4096, l_out in 1u64..4096) {
+        let g = steady_state_groups(b, l_in, l_out);
+        prop_assert_eq!(g.iter().map(|x| x.0).sum::<u64>(), b);
+        for &(n, l) in &g {
+            prop_assert!(n > 0);
+            prop_assert!(l > l_in && l <= l_in + l_out, "l = {l}");
+        }
+    }
+
+    /// The speedup grid is ≥ 1 everywhere and non-decreasing along the
+    /// output-length axis at fixed prompt length.
+    #[test]
+    fn speedup_monotone_in_output_length(seed in 0u8..4) {
+        let m = ModelConfig::gpt3_175b();
+        let lens = match seed {
+            0 => [256u64, 1024],
+            1 => [512, 2048],
+            2 => [128, 512],
+            _ => [1024, 2048],
+        };
+        let cells = speedup_grid(&m, &lens, 100);
+        let at = |li, lo| cells.iter().find(|c| c.l_in == li && c.l_out == lo).unwrap().speedup;
+        for &li in &lens {
+            prop_assert!(at(li, lens[1]) >= at(li, lens[0]) * 0.98);
+        }
+        for c in &cells {
+            prop_assert!(c.speedup >= 0.98, "cell {c:?}");
+        }
+    }
+
+    /// Gen-stage cost decomposes over disjoint batches: the union is never
+    /// cheaper than the bigger part and never dearer than the sum.
+    #[test]
+    fn gen_stage_subadditive(a in 1u64..64, b in 1u64..64, l in 256u64..3000) {
+        let m = ModelConfig::gpt3_175b();
+        let exec = SystemExecutor::new(System::dgx_attacc_full(), &m);
+        let ta = exec.gen_stage(&[(a, l)]).latency_s;
+        let tb = exec.gen_stage(&[(b, l)]).latency_s;
+        let tu = exec.gen_stage(&[(a + b, l)]).latency_s;
+        prop_assert!(tu >= ta.max(tb) * 0.999);
+        prop_assert!(tu <= (ta + tb) * 1.001);
+    }
+}

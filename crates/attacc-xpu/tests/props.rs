@@ -1,0 +1,81 @@
+//! Property-based tests for the roofline and interconnect models.
+
+use attacc_model::{DataType, FcLayer, ModelConfig, Op, Phase, StageWorkload};
+use attacc_xpu::{ComputeDevice, GpuSystem, Interconnect};
+use proptest::prelude::*;
+
+fn dev() -> ComputeDevice {
+    GpuSystem::dgx_base().device
+}
+
+proptest! {
+    /// Roofline time is exactly max(compute, memory) + launch.
+    #[test]
+    fn roofline_is_max_of_sides(rows in 1u64..2000, k in 1u64..2000, n in 1u64..2000) {
+        let d = dev();
+        let op = Op::Gemm {
+            layer: FcLayer::Ff1,
+            rows, k, n,
+            weight_dtype: DataType::Fp16,
+            act_dtype: DataType::Fp16,
+        };
+        let t = d.op_time_s(&op);
+        let want = d.compute_time_s(&op).max(d.memory_time_s(&op)) + d.launch_s;
+        prop_assert!((t - want).abs() < 1e-15);
+        prop_assert!(t >= d.launch_s);
+    }
+
+    /// Stage time is monotone in batch size and in context length.
+    #[test]
+    fn stage_time_monotone(b in 1u64..64, l in 16u64..2048) {
+        let gpu = GpuSystem::dgx_base();
+        let m = ModelConfig::gpt3_175b();
+        let t = |b, l| gpu.stage_time(&StageWorkload::uniform(&m, Phase::gen(l), b)).total_s;
+        prop_assert!(t(b + 1, l) >= t(b, l) * 0.999);
+        prop_assert!(t(b, l + 16) >= t(b, l) * 0.999);
+    }
+
+    /// Utilization never exceeds 100% and energy is positive.
+    #[test]
+    fn utilization_bounded(b in 1u64..256, l in 16u64..3000) {
+        let gpu = GpuSystem::dgx_base();
+        let m = ModelConfig::gpt3_175b();
+        let st = gpu.stage_time(&StageWorkload::uniform(&m, Phase::gen(l), b));
+        prop_assert!(st.utilization > 0.0 && st.utilization <= 1.0);
+        prop_assert!(st.energy_j > 0.0);
+    }
+
+    /// All-reduce time is monotone in peers and buffer size, and bounded
+    /// by 2 buffer traversals plus latencies.
+    #[test]
+    fn allreduce_bounds(bytes in 1u64..(1 << 30), n in 2u32..64) {
+        let link = Interconnect::nvlink();
+        let t = link.allreduce_s(bytes, n);
+        prop_assert!(t >= link.allreduce_s(bytes, n - 1) - 1e-12 || n == 2);
+        prop_assert!(t <= 2.0 * bytes as f64 / link.bw_bytes_per_s + f64::from(n) * link.latency_s);
+        prop_assert!(link.allreduce_s(bytes + 1024, n) >= t);
+    }
+
+    /// Transfers decompose: moving twice the bytes costs at most twice the
+    /// time (latency amortizes).
+    #[test]
+    fn transfer_subadditive(bytes in 1u64..(1 << 32)) {
+        let link = Interconnect::pcie_gen5();
+        prop_assert!(link.transfer_s(2 * bytes) <= 2.0 * link.transfer_s(bytes));
+    }
+
+    /// INT8 quantization never makes an op slower on the GPU.
+    #[test]
+    fn int8_never_slower(rows in 1u64..512) {
+        let d = dev();
+        let mk = |dt: DataType| Op::Gemm {
+            layer: FcLayer::Ff1,
+            rows,
+            k: 12288,
+            n: 12288,
+            weight_dtype: dt,
+            act_dtype: dt,
+        };
+        prop_assert!(d.op_time_s(&mk(DataType::Int8)) <= d.op_time_s(&mk(DataType::Fp16)) + 1e-15);
+    }
+}

@@ -1,0 +1,63 @@
+//! Architecting the PIM: where should the GEMV units live?
+//!
+//! Reproduces the §4.1 design-space exploration from an architect's seat:
+//! for each placement (buffer die, bank group, bank) it reports the
+//! power-constrained concurrency, exploitable bandwidth, streaming energy,
+//! silicon overhead, and the resulting attention performance on GPT-3.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use attacc::hbm::HbmConfig;
+use attacc::model::ModelConfig;
+use attacc::pim::{AreaReport, AttAccDevice, GemvPlacement};
+use attacc::sim::experiment::placement_study;
+
+fn main() {
+    let hbm = HbmConfig::hbm3_8hi();
+    println!(
+        "HBM3 stack: {} pCH x {} banks, {:.1} GB/s external, power budget {:.2} W/pCH",
+        hbm.geometry.pseudo_channels,
+        hbm.geometry.banks_per_pch(),
+        hbm.external_bandwidth_bytes_per_s() / 1e9,
+        hbm.power.budget_per_pch_w,
+    );
+    println!();
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>14} {:>12}",
+        "placement", "units/pCH", "active", "BW vs ext", "pJ/bit", "die ovh"
+    );
+    for p in GemvPlacement::ALL {
+        let area = AreaReport::for_placement(p, &hbm);
+        println!(
+            "{:<14} {:>10} {:>10} {:>11.1}x {:>13.2} {:>11.2}%",
+            p.to_string(),
+            p.units_per_pch(&hbm),
+            p.max_active_per_pch(&hbm),
+            p.relative_bandwidth(&hbm),
+            p.stream_energy_pj_per_bit(&hbm),
+            area.dram_die_overhead * 100.0,
+        );
+    }
+
+    println!();
+    let model = ModelConfig::gpt3_175b();
+    println!("attention layer of {} (batch 50, L = 4096) per design point:", model.name);
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10}",
+        "placement", "tput (rel)", "energy (rel)", "EDAP (rel)", "peak W"
+    );
+    for row in placement_study(&model, 50, 4096) {
+        println!(
+            "{:<14} {:>11.2}x {:>11.2}x {:>12.4} {:>10.1}",
+            row.placement, row.rel_throughput, row.rel_energy, row.rel_edap, row.peak_power_w
+        );
+    }
+
+    println!();
+    let dev = AttAccDevice::paper_40_stacks(GemvPlacement::Bank);
+    println!(
+        "chosen: AttAcc_bank -> 40-stack device with {} of KV capacity and {:.0} TB/s internal bandwidth",
+        attacc::model::fmt_gib(dev.capacity_bytes()),
+        dev.internal_bandwidth() / 1e12,
+    );
+}

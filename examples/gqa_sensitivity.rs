@@ -1,0 +1,45 @@
+//! §8 discussion: does AttAcc still pay off under GQA/MQA?
+//!
+//! Grouped-query attention shares KV matrices among query heads. A GPU can
+//! exploit that reuse through its caches, while the default AttAcc streams
+//! KV once per query head — so the PIM advantage shrinks as groups grow.
+//! This example sweeps the group size for a GPT-3-shaped model.
+//!
+//! Run with: `cargo run --release --example gqa_sensitivity`
+
+use attacc::model::{KvCacheSpec, ModelConfig};
+use attacc::sim::experiment::gqa_ablation;
+
+fn main() {
+    let model = ModelConfig::gpt3_175b();
+    let groups = [1u32, 2, 4, 8, 16, 32, 96];
+    println!("{} with varying KV sharing (batch 32, L = 2048):", model.name);
+    println!(
+        "{:>10} {:>9} {:>16} {:>18} {:>18}",
+        "group", "KV heads", "KV GB @ L=4096", "default AttAcc", "systolic AttAcc"
+    );
+    for row in gqa_ablation(&model, 32, 2048, &groups) {
+        let variant = if row.group_size == 1 {
+            attacc::model::AttentionVariant::Mha
+        } else if row.group_size == 96 {
+            attacc::model::AttentionVariant::Mqa
+        } else {
+            attacc::model::AttentionVariant::Gqa {
+                group_size: row.group_size,
+            }
+        };
+        let m = model.with_attention(variant);
+        let kv_gb = KvCacheSpec::of(&m).bytes_at(4096) as f64 / (1u64 << 30) as f64;
+        println!(
+            "{:>10} {:>9} {:>15.2} {:>17.2}x {:>17.2}x",
+            variant.to_string(),
+            m.kv_heads(),
+            kv_gb,
+            row.attention_speedup,
+            row.systolic_speedup,
+        );
+    }
+    println!();
+    println!("the systolic reconfiguration (§8) restores KV reuse inside AttAcc at");
+    println!("extra area cost — compare the two speedup columns.");
+}

@@ -1,0 +1,90 @@
+//! The Fig. 11 timing diagrams as ASCII timelines: how one decoder's
+//! phases overlap under each optimization level.
+//!
+//! Run with: `cargo run --release --example pipeline_timeline`
+
+use attacc::model::{FcLayer, ModelConfig, Op, Phase, StageWorkload};
+use attacc::pim::{AttAccDevice, GemvPlacement};
+use attacc::serving::{ff_coprocess_speedup, head_level_pipelined_s, serial_s, DecoderPhases};
+use attacc::sim::System;
+
+fn bar(label: &str, start: f64, len: f64, scale: f64) {
+    let pre = (start * scale).round() as usize;
+    let width = ((len * scale).round() as usize).max(1);
+    println!("{label:<14} {}{}", " ".repeat(pre), "#".repeat(width));
+}
+
+fn main() {
+    let model = ModelConfig::gpt3_175b();
+    let batch = 48u64;
+    let l = 3072u64;
+    let gpu = System::dgx_base().gpu;
+    let attacc = AttAccDevice::paper_40_stacks(GemvPlacement::Bank);
+
+    // Per-decoder phase times on the heterogeneous platform.
+    let wl = StageWorkload::uniform(&model, Phase::gen(l), batch);
+    let mut p = DecoderPhases::default();
+    for op in &wl.decoder_ops {
+        match op {
+            Op::Gemm { layer: FcLayer::QkvGen, .. } => p.qkv_s += gpu.device.op_time_s(op),
+            Op::Gemm { layer: FcLayer::Projection, .. } => p.proj_s += gpu.device.op_time_s(op),
+            Op::Gemm { layer, .. } if layer.is_feedforward() => p.ff_s += gpu.device.op_time_s(op),
+            Op::Activation { .. } => p.ff_s += gpu.device.op_time_s(op),
+            Op::Attention { .. } | Op::KvAppend { .. } => {}
+            _ => p.other_s += gpu.device.op_time_s(op),
+        }
+    }
+    p.attn_s = attacc.attention_decoder_time(&model, &[(batch, l)], true).total_s;
+    p.comm_s = gpu.decoder_comm_s(batch, model.d_emb, 2);
+
+    let us = 1e6;
+    println!(
+        "GPT-3 175B decoder, batch {batch}, L = {l}  (all times in µs; 1 char ≈ 4 µs)"
+    );
+    let scale = 0.25; // chars per µs
+
+    println!();
+    println!("(a) serial (naïve DGX+AttAccs): total {:.0} µs", serial_s(&p) * us);
+    let mut t = 0.0;
+    bar("xPU: QKV", t, p.qkv_s * us, scale);
+    t += p.qkv_s * us;
+    bar("PIM: attention", t, p.attn_s * us, scale);
+    t += p.attn_s * us;
+    bar("xPU: proj", t, p.proj_s * us, scale);
+    t += p.proj_s * us;
+    bar("xPU: FF", t, p.ff_s * us, scale);
+
+    println!();
+    let hl = head_level_pipelined_s(&p, u64::from(model.n_head));
+    println!("(b) + head-level pipelining: total {:.0} µs", hl * us);
+    let block = (p.qkv_s + p.proj_s).max(p.attn_s) * us;
+    bar("xPU: QKV+proj", 0.0, (p.qkv_s + p.proj_s) * us, scale);
+    bar("PIM: attention", (p.qkv_s + p.proj_s).min(p.attn_s) * us / 96.0, p.attn_s * us, scale);
+    bar("xPU: FF", block, p.ff_s * us, scale);
+
+    println!();
+    let factor = ff_coprocess_speedup(
+        gpu.device.mem_bw * gpu.device.mem_eff,
+        attacc.external_bandwidth() * gpu.device.mem_eff,
+    );
+    let mut pc = p;
+    pc.ff_s *= factor;
+    let full = head_level_pipelined_s(&pc, u64::from(model.n_head));
+    println!(
+        "(d) + feedforward co-processing (split {:.0}%/{:.0}%): total {:.0} µs",
+        factor * 100.0,
+        (1.0 - factor) * 100.0,
+        full * us
+    );
+    bar("xPU: QKV+proj", 0.0, (p.qkv_s + p.proj_s) * us, scale);
+    bar("PIM: attention", (p.qkv_s + p.proj_s).min(p.attn_s) * us / 96.0, p.attn_s * us, scale);
+    bar("xPU: FF share", block, pc.ff_s * us, scale);
+    bar("PIM: FF share", block, pc.ff_s * us, scale);
+
+    println!();
+    println!(
+        "speedup over serial: head-level {:.2}x, +FF co-processing {:.2}x",
+        serial_s(&p) / hl,
+        serial_s(&p) / full
+    );
+}

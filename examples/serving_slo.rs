@@ -1,0 +1,59 @@
+//! Serving a chatbot under a latency SLO.
+//!
+//! An operator serves GPT-3-class traffic (2,048-token prompts, 2,048-token
+//! answers) and must keep each output token under a latency target. This
+//! example sweeps the SLO and shows how the admissible batch — and with it
+//! the throughput — collapses on GPU-only systems while the PIM platform
+//! keeps its batch.
+//!
+//! Run with: `cargo run --release --example serving_slo`
+
+use attacc::model::ModelConfig;
+use attacc::serving::{simulate, SchedulerConfig, StageExecutor, Workload};
+use attacc::sim::experiment::{max_feasible_batch, steady_state_groups};
+use attacc::sim::{System, SystemExecutor};
+
+fn main() {
+    let model = ModelConfig::gpt3_175b();
+    let (l_in, l_out) = (2048u64, 2048u64);
+    let slos: [Option<f64>; 4] = [None, Some(0.070), Some(0.050), Some(0.030)];
+
+    println!("GPT-3 175B, (L_in, L_out) = ({l_in}, {l_out})");
+    println!(
+        "{:<12} {:<36} {:>9} {:>14}",
+        "SLO", "system", "batch", "tokens/s"
+    );
+    for slo in slos {
+        for system in [System::dgx_base(), System::dgx_large(), System::dgx_attacc_full()] {
+            let batch = max_feasible_batch(&system, &model, l_in, l_out, slo);
+            let exec = SystemExecutor::new(system.clone(), &model);
+            let tput = if batch == 0 {
+                0.0
+            } else {
+                let groups = steady_state_groups(batch, l_in, l_out);
+                batch as f64 / exec.gen_stage(&groups).latency_s
+            };
+            let slo_str = slo.map_or("none".to_string(), |s| format!("{:.0} ms", s * 1e3));
+            println!("{slo_str:<12} {:<36} {batch:>9} {tput:>14.1}", system.name());
+        }
+    }
+
+    // Cross-check one configuration with the discrete-event scheduler
+    // (iteration-level scheduling over a real request population).
+    println!();
+    println!("discrete-event cross-check (200 requests, L_out mixed 256-768):");
+    let wl = Workload::uniform_random(200, 512, (256, 768), 42);
+    for system in [System::dgx_base(), System::dgx_attacc_full()] {
+        let exec = SystemExecutor::new(system.clone(), &model);
+        let batch = max_feasible_batch(&system, &model, 512, 768, Some(0.050)).max(1);
+        let report = simulate(&exec, &wl.requests(), &SchedulerConfig::unlimited(batch));
+        println!(
+            "{:<36} batch {:>4}: {:>8.1} tokens/s, {:>6.3} J/token, worst iter {:>6.1} ms",
+            system.name(),
+            batch,
+            report.tokens_per_s(),
+            report.energy_per_token_j(),
+            report.max_iteration_latency_s * 1e3,
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Inspecting the DRAM command schedule of a PIM attention stream.
+//!
+//! Drives one pseudo-channel's command engine through the beginning of a
+//! `GEMV_score` stream (activate + MAC-read loops across banks) and dumps
+//! the first commands with their start times — the view a DRAM-level
+//! debugger of AttAcc would show.
+//!
+//! Run with: `cargo run --release --example trace_inspector`
+
+use attacc::hbm::{AccessDepth, BankAddr, ChannelEngine, DramCommand, HbmConfig};
+
+fn main() {
+    let cfg = HbmConfig::hbm3_8hi();
+    let mut eng = ChannelEngine::new(&cfg);
+    eng.enable_trace(64);
+
+    // PIM_ACT_AB: open row 0 in the first 6 banks (one per bank group of
+    // rank 0 plus two of rank 1), then stream 4 MAC beats from each —
+    // bank-level reads pay no shared-bus constraint.
+    let banks: Vec<BankAddr> = (0..6)
+        .map(|i| BankAddr::from_index(&cfg.geometry, i * 4))
+        .collect();
+    for &b in &banks {
+        eng.issue(DramCommand::Activate { bank: b, row: 0 }, AccessDepth::Bank, 0)
+            .expect("activate");
+    }
+    for beat in 0..4 {
+        for &b in &banks {
+            eng.issue(DramCommand::Read { bank: b }, AccessDepth::Bank, beat * 3_000)
+                .expect("mac read");
+        }
+    }
+    for &b in &banks {
+        eng.issue(DramCommand::Precharge { bank: b }, AccessDepth::Bank, 0)
+            .expect("precharge");
+    }
+
+    println!("{:>10}  command", "t (ns)");
+    for (t, cmd) in eng.trace().expect("tracing enabled") {
+        let desc = match cmd {
+            DramCommand::Activate { bank, row } => format!(
+                "ACT   rank {} bg {} bank {} row {row}",
+                bank.rank, bank.group, bank.bank
+            ),
+            DramCommand::Read { bank } => format!(
+                "MAC   rank {} bg {} bank {}",
+                bank.rank, bank.group, bank.bank
+            ),
+            DramCommand::Write { bank } => format!(
+                "WR    rank {} bg {} bank {}",
+                bank.rank, bank.group, bank.bank
+            ),
+            DramCommand::Precharge { bank } => format!(
+                "PRE   rank {} bg {} bank {}",
+                bank.rank, bank.group, bank.bank
+            ),
+        };
+        println!("{:>10.1}  {desc}", *t as f64 / 1000.0);
+    }
+    println!();
+    println!(
+        "energy so far: {:.1} pJ across {} commands",
+        eng.energy().total_pj(),
+        eng.issued_commands()
+    );
+}

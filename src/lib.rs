@@ -1,0 +1,43 @@
+//! # AttAcc simulator
+//!
+//! A from-scratch Rust reproduction of *AttAcc! Unleashing the Power of
+//! PIM for Batched Transformer-based Generative Model Inference*
+//! (ASPLOS 2024): a processing-in-memory architecture for the attention
+//! layer of batched LLM inference, evaluated inside a heterogeneous
+//! xPU + PIM serving platform.
+//!
+//! This facade re-exports the workspace crates under short names:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`model`] | `attacc-model` | TbGM configs, op-level workloads, KV sizing |
+//! | [`hbm`] | `attacc-hbm` | HBM3 geometry/timing/power, command engine |
+//! | [`pim`] | `attacc-pim` | GEMV/softmax units, mapping, AttAcc device |
+//! | [`xpu`] | `attacc-xpu` | GPU/CPU rooflines, interconnects, energy |
+//! | [`serving`] | `attacc-serving` | Scheduler, SLO search, pipelining |
+//! | [`sim`] | `attacc-sim` | Platforms, executors, per-figure drivers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use attacc::model::ModelConfig;
+//! use attacc::sim::{System, SystemExecutor};
+//! use attacc::serving::StageExecutor;
+//!
+//! let gpt3 = ModelConfig::gpt3_175b();
+//! let base = SystemExecutor::new(System::dgx_base(), &gpt3);
+//! let pim = SystemExecutor::new(System::dgx_attacc_full(), &gpt3);
+//! let groups = [(32u64, 2048u64)]; // batch 32, context 2048
+//! let speedup = base.gen_stage(&groups).latency_s / pim.gen_stage(&groups).latency_s;
+//! assert!(speedup > 1.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use attacc_hbm as hbm;
+pub use attacc_model as model;
+pub use attacc_pim as pim;
+pub use attacc_serving as serving;
+pub use attacc_sim as sim;
+pub use attacc_xpu as xpu;

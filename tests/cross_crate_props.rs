@@ -1,0 +1,107 @@
+//! Cross-crate property tests: invariants that must hold for any batch
+//! shape, sequence length or SLO across the composed system stack.
+
+use attacc::model::ModelConfig;
+use attacc::serving::{max_batch_under_slo, StageExecutor};
+use attacc::sim::experiment::max_feasible_batch;
+use attacc::sim::{System, SystemExecutor};
+use proptest::prelude::*;
+
+fn gpt3() -> ModelConfig {
+    ModelConfig::gpt3_175b()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Gen-iteration latency is monotone non-decreasing in batch size on
+    /// every platform (the assumption behind the SLO binary search).
+    #[test]
+    fn latency_monotone_in_batch(l in 64u64..4096, b in 1u64..128) {
+        let m = gpt3();
+        for system in [
+            System::dgx_base(),
+            System::dgx_attacc_full(),
+            System::two_dgx(),
+            System::dgx_cpu(),
+        ] {
+            let exec = SystemExecutor::new(system, &m);
+            let t1 = exec.gen_stage(&[(b, l)]).latency_s;
+            let t2 = exec.gen_stage(&[(b + 1, l)]).latency_s;
+            prop_assert!(t2 >= t1 * 0.999, "b={b} l={l}: {t1} -> {t2}");
+        }
+    }
+
+    /// Latency is monotone in context length.
+    #[test]
+    fn latency_monotone_in_context(l in 64u64..4000, b in 1u64..64) {
+        let m = gpt3();
+        let exec = SystemExecutor::new(System::dgx_attacc_full(), &m);
+        let t1 = exec.gen_stage(&[(b, l)]).latency_s;
+        let t2 = exec.gen_stage(&[(b, l + 64)]).latency_s;
+        prop_assert!(t2 >= t1 * 0.999);
+    }
+
+    /// The PIM platform never loses to the baseline on a Gen iteration.
+    #[test]
+    fn pim_never_loses_gen_iterations(l in 128u64..4096, b in 1u64..128) {
+        let m = gpt3();
+        let base = SystemExecutor::new(System::dgx_base(), &m).gen_stage(&[(b, l)]);
+        let pim = SystemExecutor::new(System::dgx_attacc_full(), &m).gen_stage(&[(b, l)]);
+        prop_assert!(pim.latency_s <= base.latency_s * 1.001);
+        prop_assert!(pim.energy_j <= base.energy_j * 1.05);
+    }
+
+    /// The SLO search returns a batch whose latency honors the SLO, and a
+    /// one-larger batch that violates it (unless capacity-capped).
+    #[test]
+    fn slo_search_is_tight(slo_ms in 10.0f64..200.0, l in 512u64..4096) {
+        let m = gpt3();
+        let exec = SystemExecutor::new(System::dgx_base(), &m);
+        let slo = slo_ms * 1e-3;
+        let b = max_batch_under_slo(&exec, slo, l, 512);
+        if b > 0 {
+            prop_assert!(exec.gen_stage(&[(b, l)]).latency_s <= slo);
+        }
+        if b < 512 {
+            prop_assert!(exec.gen_stage(&[(b + 1, l)]).latency_s > slo);
+        }
+    }
+
+    /// Feasible batch is monotone: looser SLOs and bigger systems admit at
+    /// least as many requests.
+    #[test]
+    fn feasible_batch_monotone(lout in 128u64..2048) {
+        let m = gpt3();
+        let tight = max_feasible_batch(&System::dgx_base(), &m, 2048, lout, Some(0.030));
+        let loose = max_feasible_batch(&System::dgx_base(), &m, 2048, lout, Some(0.070));
+        let unlimited = max_feasible_batch(&System::dgx_base(), &m, 2048, lout, None);
+        prop_assert!(tight <= loose && loose <= unlimited);
+        let large = max_feasible_batch(&System::dgx_large(), &m, 2048, lout, None);
+        prop_assert!(unlimited <= large);
+    }
+
+    /// Splitting a uniform batch into two context groups never changes the
+    /// cost by more than the head-distribution rounding.
+    #[test]
+    fn group_splitting_is_consistent(l in 256u64..3000, b in 4u64..64) {
+        let m = gpt3();
+        let exec = SystemExecutor::new(System::dgx_attacc_full(), &m);
+        let whole = exec.gen_stage(&[(b, l)]).latency_s;
+        let split = exec.gen_stage(&[(b / 2, l), (b - b / 2, l)]).latency_s;
+        prop_assert!((whole - split).abs() / whole < 0.15, "{whole} vs {split}");
+    }
+
+    /// Energy and latency scale sublinearly when doubling the batch on the
+    /// baseline (weights amortize), but attention-dominated regimes stay
+    /// close to linear.
+    #[test]
+    fn batching_amortizes_weights(b in 1u64..64) {
+        let m = gpt3();
+        let exec = SystemExecutor::new(System::dgx_base(), &m);
+        let one = exec.gen_stage(&[(b, 1024)]);
+        let two = exec.gen_stage(&[(2 * b, 1024)]);
+        prop_assert!(two.latency_s < 2.0 * one.latency_s);
+        prop_assert!(two.energy_j < 2.0 * one.energy_j);
+    }
+}

@@ -1,0 +1,44 @@
+//! Smoke tests over the figure regenerators: every table renders and the
+//! spot values the paper states in prose come out right.
+
+use attacc::sim::experiment::gen_stage_fraction;
+use attacc::sim::{System, Table};
+use attacc::model::ModelConfig;
+
+#[test]
+fn fig2_prose_cells() {
+    // Fig. 2's corner values quoted in §2.2: (32,32) > 96%, (2048,128)
+    // > 85%, (2,2) = 50%.
+    let sys = System::dgx_base();
+    let m = ModelConfig::gpt3_175b();
+    assert!(gen_stage_fraction(&sys, &m, 32, 32) > 0.93);
+    assert!(gen_stage_fraction(&sys, &m, 2048, 128) > 0.85);
+    let half = gen_stage_fraction(&sys, &m, 2, 2);
+    assert!((half - 0.5).abs() < 0.03, "(2,2) = {half}");
+}
+
+#[test]
+fn fig2_monotone_in_both_axes() {
+    let sys = System::dgx_base();
+    let m = ModelConfig::gpt3_175b();
+    // More output tokens → more Gen share; longer prompts → less.
+    assert!(
+        gen_stage_fraction(&sys, &m, 128, 512) > gen_stage_fraction(&sys, &m, 128, 32)
+    );
+    assert!(
+        gen_stage_fraction(&sys, &m, 2048, 32) < gen_stage_fraction(&sys, &m, 32, 32)
+    );
+}
+
+#[test]
+fn table_helpers_roundtrip() {
+    let mut t = Table::new("x", &["a"]);
+    t.push_row(vec![Table::num(4.5678)]);
+    assert!(t.to_string().contains("4.57"));
+}
+
+#[test]
+fn validation_anchor_holds() {
+    let r = attacc::sim::validate::validate_opt66b();
+    assert!(r.ratio > 0.4 && r.ratio < 1.2, "ratio = {}", r.ratio);
+}

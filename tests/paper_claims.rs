@@ -1,0 +1,200 @@
+//! A claims audit: every quantitative statement the paper makes in prose
+//! (outside the figures, which EXPERIMENTS.md covers) gets one assertion.
+
+use attacc::hbm::HbmConfig;
+use attacc::model::{AttnShape, DataType, ModelConfig, Op, Phase, StageWorkload, GIB};
+use attacc::pim::{AttAccDevice, GemvPlacement, SoftmaxUnit};
+use attacc::sim::{System, SystemExecutor};
+
+#[test]
+fn claim_intro_gpt3_total_flops() {
+    // §1: GPT-3 "requires 1,475 TFLOPs of computation" for one request at
+    // (L_in, L_out) = (2048, 2048).
+    let m = ModelConfig::gpt3_175b();
+    let mut flops = StageWorkload::uniform(&m, Phase::sum(2048), 1).flops() as f64;
+    for i in 0..2047u64 {
+        flops += StageWorkload::uniform(&m, Phase::gen(2049 + i), 1).flops() as f64;
+    }
+    let tflops = flops / 1e12;
+    assert!(
+        (tflops - 1475.0).abs() / 1475.0 < 0.25,
+        "total = {tflops:.0} TFLOPs (paper: 1,475)"
+    );
+}
+
+#[test]
+fn claim_intro_batch1_utilization_below_1pct() {
+    // §1: batch-1 inference leaves "compute unit utilization below 1%".
+    let m = ModelConfig::gpt3_175b();
+    let exec = SystemExecutor::new(System::dgx_base(), &m);
+    let d = exec.gen_stage_detail(&[(1, 2048)]);
+    assert!(d.utilization < 0.01, "util = {}", d.utilization);
+}
+
+#[test]
+fn claim_s33_external_internal_traffic_ratio() {
+    // §3.3: the external-to-internal bandwidth ratio of the attention
+    // layer is (d_emb + N_head·L)/(L·d_emb), "up to 1/128 for GPT-3 …
+    // with L ≥ 2,048".
+    let d_emb = 12288.0f64;
+    let n_head = 96.0f64;
+    let l = 2048.0f64;
+    let ratio = (d_emb + n_head * l) / (l * d_emb);
+    assert!((ratio - 1.0 / 120.9).abs() < 1e-4, "formula ratio = {ratio}");
+    assert!(ratio <= 1.0 / 100.0, "≈1/128 class: {ratio}");
+    // Our op model agrees: per-request attention act bytes over KV bytes
+    // is the same order.
+    let op = Op::Attention {
+        groups: vec![AttnShape::single(2048, 1)],
+        n_head: 96,
+        kv_heads: 96,
+        d_head: 128,
+        kv_dtype: DataType::Fp16,
+        act_dtype: DataType::Fp16,
+    };
+    let t = op.traffic();
+    let model_ratio = t.act_bytes as f64 / t.kv_bytes as f64;
+    assert!(model_ratio < 1.0 / 100.0, "model ratio = {model_ratio}");
+}
+
+#[test]
+fn claim_s41_softmax_unit_budget() {
+    // §4.1: softmax needs N_head/d_emb (~1/128) of the GEMV bandwidth, and
+    // the buffer die provisions 1/9 of AttAcc_bank's aggregate internal
+    // bandwidth — comfortably enough.
+    let hbm = HbmConfig::hbm3_8hi();
+    let sfm_need = 96.0 / 12288.0; // fraction of GEMV stream
+    let buffer_fraction = 1.0
+        / GemvPlacement::Bank.relative_bandwidth(&hbm);
+    assert!(buffer_fraction > 10.0 * sfm_need, "{buffer_fraction} vs {sfm_need}");
+    // And the softmax unit's throughput covers the score-element rate.
+    let sm = SoftmaxUnit::new();
+    let dev = AttAccDevice::paper_40_stacks(GemvPlacement::Bank);
+    let elems_per_s = dev.internal_bandwidth() / (2.0 * 128.0 * 2.0); // scores per KV byte stream
+    let sm_capacity = sm.throughput_elems_per_s() * f64::from(dev.n_stacks);
+    assert!(sm_capacity > elems_per_s, "{sm_capacity} vs {elems_per_s}");
+}
+
+#[test]
+fn claim_s41_softmax_units_vs_banks() {
+    // §4.1: "the maximum number of softmax units is … 4,800 for 96 heads
+    // and a batch size of 50", versus 40,960 parallel banks — the reason
+    // softmax lives on the buffer die.
+    let heads_in_flight = 96u64 * 50;
+    assert_eq!(heads_in_flight, 4_800);
+    let banks = u64::from(HbmConfig::hbm3_8hi().geometry.total_banks()) * 40;
+    assert_eq!(banks, 40_960);
+    assert!(banks > 8 * heads_in_flight);
+}
+
+#[test]
+fn claim_s32_hypothetical_5tb_dgx_slo_batch() {
+    // §1/§3.2: even a hypothetical DGX with 5,000 GB of memory stays in
+    // the tens — not 256 — under a 50 ms SLO ("the maximum batch size can
+    // be merely 27"). Our baseline iterates slightly faster than the
+    // paper's (see EXPERIMENTS.md, Fig. 14 note), so the admitted batch
+    // lands a bit above 27; the claim is the order of magnitude.
+    let m = ModelConfig::gpt3_175b();
+    let mut sys = System::dgx_base();
+    sys.gpu.capacity_bytes = 5_000 * GIB;
+    let b = attacc::sim::experiment::max_feasible_batch(&sys, &m, 2048, 2048, Some(0.050));
+    assert!(
+        (14..=48).contains(&b),
+        "batch under 50 ms SLO = {b} (paper: ~27)"
+    );
+    // The capacity itself would have admitted far more.
+    let unconstrained =
+        attacc::sim::experiment::max_feasible_batch(&sys, &m, 2048, 2048, None);
+    assert!(unconstrained > 4 * b, "capacity batch = {unconstrained}");
+}
+
+#[test]
+fn claim_s62_ff_split_ratio_is_bandwidth_proportional() {
+    // §6.2: the GEMM throughput ratio between xPUs and AttAccs for the
+    // feedforward block is BW_xPU : BW_AttAcc (both bandwidth-bound).
+    let dev = AttAccDevice::paper_40_stacks(GemvPlacement::Bank);
+    let gpu = System::dgx_base().gpu;
+    let share = attacc::serving::ff_coprocess_speedup(
+        gpu.device.mem_bw,
+        dev.external_bandwidth(),
+    );
+    // Equal HBM complements → a ~50/50 split.
+    assert!((share - 0.5).abs() < 0.01, "xPU share = {share}");
+}
+
+#[test]
+fn claim_s76_2xdgx_attention_bandwidth_deficit() {
+    // §7.6: 2×DGX's aggregate bandwidth for attention is "4.5× smaller
+    // than that of DGX+AttAccs".
+    let dev = AttAccDevice::paper_40_stacks(GemvPlacement::Bank);
+    let two_dgx_bw = System::two_dgx().gpu.device.mem_bw;
+    let ratio = dev.internal_bandwidth() / two_dgx_bw;
+    assert!((ratio - 4.5).abs() < 0.3, "ratio = {ratio}");
+}
+
+#[test]
+fn claim_s22_gen_dominates_for_gpt2_class_too() {
+    // §2.2: "This trend can also be confirmed by prior works studying
+    // GPT-2" — the Gen share holds for small models as well.
+    let m = ModelConfig::gpt2_xl();
+    let f = attacc::sim::experiment::gen_stage_fraction(&System::dgx_base(), &m, 128, 128);
+    assert!(f > 0.9, "GPT-2 Gen share = {f}");
+}
+
+#[test]
+fn claim_abstract_end_to_end_bands() {
+    // Abstract: "improving performance and energy efficiency of running a
+    // 175B TbGM by up to 2.81× and 2.67×" (same-capacity comparison, i.e.
+    // vs DGX_Large; the per-model §7.2 table refines this). Our GPT-3
+    // vs-Large speedup and energy ratio must land in that neighborhood.
+    let m = ModelConfig::gpt3_175b();
+    let run = |sys: System| {
+        let b = attacc::sim::experiment::max_feasible_batch(&sys, &m, 2048, 2048, None).max(1);
+        attacc::sim::experiment::analytic_serve(
+            &SystemExecutor::new(sys, &m),
+            2048,
+            2048,
+            1_000,
+            b,
+        )
+    };
+    let (t_large, e_large) = run(System::dgx_large());
+    let (t_pim, e_pim) = run(System::dgx_attacc_full());
+    let speedup = t_large / t_pim;
+    let energy_ratio = e_large / e_pim;
+    assert!((1.8..=3.6).contains(&speedup), "speedup = {speedup}");
+    assert!((1.3..=3.4).contains(&energy_ratio), "energy = {energy_ratio}");
+}
+
+#[test]
+fn claim_s51_gemv_unit_shape() {
+    // §5.1: "Each GEMV unit consists of 16 FP16 multipliers, 16 FP16
+    // adders" clocked at 666 MHz from tCCDS.
+    let unit = attacc::pim::GemvUnit::new();
+    assert_eq!(unit.lanes, 16);
+    let t = HbmConfig::hbm3_8hi().timing;
+    assert!((1e6 / t.t_ccd_s as f64 - 666.7).abs() < 1.0);
+    // And the softmax unit: 256 FP32 lanes at 1.3 GHz with a 512 KB buffer.
+    let sm = SoftmaxUnit::new();
+    assert_eq!(sm.lanes, 256);
+    assert!((sm.clock_ghz - 1.3).abs() < 1e-9);
+    assert_eq!(sm.buffer_bytes, 512 * 1024);
+}
+
+#[test]
+fn claim_gen_stage_executes_one_token_per_request() {
+    // §2.2: each Gen stage produces exactly one token per request; our
+    // scheduler obeys by construction — assert through a run.
+    let m = ModelConfig::gpt3_175b();
+    let exec = SystemExecutor::new(System::dgx_base(), &m);
+    let wl = attacc::serving::Workload::fixed(6, 64, 5);
+    let r = attacc::serving::simulate(
+        &exec,
+        &wl.requests(),
+        &attacc::serving::SchedulerConfig::unlimited(3),
+    );
+    assert_eq!(r.tokens_generated, 30);
+    // 6 requests × 4 Gen stages each (Sum yields the first token), shared
+    // across a batch of 3 → at least 8 iterations.
+    assert!(r.gen_iterations >= 8);
+}
