@@ -1,4 +1,4 @@
 //! Prints the Section 6.1 batch-level pipelining ablation.
 fn main() {
-    print!("{}", attacc_bench::ablation_batch_pipe());
+    attacc_bench::harness::run_one("ablation_batch_pipe", attacc_bench::ablation_batch_pipe);
 }

@@ -1,4 +1,4 @@
 //! Prints the Section 8 bulk-bitwise ablation.
 fn main() {
-    print!("{}", attacc_bench::ablation_bitwise());
+    attacc_bench::harness::run_one("ablation_bitwise", attacc_bench::ablation_bitwise);
 }

@@ -1,4 +1,4 @@
 //! Prints the interconnect-sensitivity ablation.
 fn main() {
-    print!("{}", attacc_bench::ablation_bridge());
+    attacc_bench::harness::run_one("ablation_bridge", attacc_bench::ablation_bridge);
 }

@@ -1,4 +1,4 @@
 //! Prints the Section 8 GQA/MQA ablation.
 fn main() {
-    print!("{}", attacc_bench::ablation_gqa());
+    attacc_bench::harness::run_one("ablation_gqa", attacc_bench::ablation_gqa);
 }

@@ -1,4 +1,4 @@
 //! Prints the model-scale ablation.
 fn main() {
-    print!("{}", attacc_bench::ablation_scaling());
+    attacc_bench::harness::run_one("ablation_scaling", attacc_bench::ablation_scaling);
 }

@@ -1,4 +1,4 @@
 //! Prints the Section 8 training-implication ablation.
 fn main() {
-    print!("{}", attacc_bench::ablation_training());
+    attacc_bench::harness::run_one("ablation_training", attacc_bench::ablation_training);
 }

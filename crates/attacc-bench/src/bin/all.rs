@@ -1,8 +1,10 @@
 //! Prints every table and figure of the evaluation (the source of
 //! EXPERIMENTS.md's measured columns). Pass `--json` for a machine-
-//! readable dump.
+//! readable dump, `--serial` to pin the sweep engine to one thread,
+//! `--quiet` to suppress the stderr stats footer.
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let quiet = attacc_bench::harness::init_from_args();
     let tables = attacc_bench::all_tables(attacc_bench::N_REQUESTS);
     if json {
         let docs: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
@@ -11,5 +13,8 @@ fn main() {
         for t in tables {
             println!("{t}");
         }
+    }
+    if !quiet {
+        attacc_bench::harness::print_stats();
     }
 }

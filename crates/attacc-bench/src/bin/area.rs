@@ -1,4 +1,4 @@
 //! Prints the Section 7.7 area-overhead table.
 fn main() {
-    print!("{}", attacc_bench::area_table());
+    attacc_bench::harness::run_one("area", attacc_bench::area_table);
 }

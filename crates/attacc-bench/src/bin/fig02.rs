@@ -1,4 +1,4 @@
 //! Prints the Figure 2 heat map.
 fn main() {
-    print!("{}", attacc_bench::fig02());
+    attacc_bench::harness::run_one("fig02", attacc_bench::fig02);
 }

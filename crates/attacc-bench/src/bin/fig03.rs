@@ -1,4 +1,4 @@
 //! Prints the Figure 3 roofline points.
 fn main() {
-    print!("{}", attacc_bench::fig03());
+    attacc_bench::harness::run_one("fig03", attacc_bench::fig03);
 }

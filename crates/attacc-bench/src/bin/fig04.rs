@@ -1,6 +1,4 @@
 //! Prints the Figure 4 batching study.
 fn main() {
-    for t in attacc_bench::fig04() {
-        println!("{t}");
-    }
+    attacc_bench::harness::run("fig04", attacc_bench::fig04);
 }

@@ -1,4 +1,4 @@
 //! Prints the Figure 7 design-space study.
 fn main() {
-    print!("{}", attacc_bench::fig07());
+    attacc_bench::harness::run_one("fig07", attacc_bench::fig07);
 }

@@ -1,4 +1,4 @@
 //! Prints the Figure 13 end-to-end comparison.
 fn main() {
-    print!("{}", attacc_bench::fig13(attacc_bench::N_REQUESTS));
+    attacc_bench::harness::run_one("fig13", || attacc_bench::fig13(attacc_bench::N_REQUESTS));
 }

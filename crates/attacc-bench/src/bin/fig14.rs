@@ -1,4 +1,4 @@
 //! Prints the Figure 14 SLO study.
 fn main() {
-    print!("{}", attacc_bench::fig14());
+    attacc_bench::harness::run_one("fig14", attacc_bench::fig14);
 }

@@ -1,4 +1,4 @@
 //! Prints the Figure 15 energy study.
 fn main() {
-    print!("{}", attacc_bench::fig15(attacc_bench::N_REQUESTS));
+    attacc_bench::harness::run_one("fig15", || attacc_bench::fig15(attacc_bench::N_REQUESTS));
 }

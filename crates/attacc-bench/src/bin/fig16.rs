@@ -1,4 +1,4 @@
 //! Prints the Figure 16 bit-width sensitivity study.
 fn main() {
-    print!("{}", attacc_bench::fig16(attacc_bench::N_REQUESTS));
+    attacc_bench::harness::run_one("fig16", || attacc_bench::fig16(attacc_bench::N_REQUESTS));
 }

@@ -1,4 +1,4 @@
 //! Prints the Figure 17 alternatives comparison.
 fn main() {
-    print!("{}", attacc_bench::fig17(attacc_bench::N_REQUESTS));
+    attacc_bench::harness::run_one("fig17", || attacc_bench::fig17(attacc_bench::N_REQUESTS));
 }

@@ -3,18 +3,20 @@ use attacc_sim::provision::provision_sweep;
 use attacc_sim::Table;
 
 fn main() {
-    let model = attacc_model::ModelConfig::gpt3_175b();
-    let mut t = Table::new(
-        "Provisioning frontier: AttAcc stacks vs throughput (GPT-3 175B, 50 ms SLO, Lin/Lout = 2048)",
-        &["stacks", "batch", "tokens/s", "Pareto"],
-    );
-    for p in provision_sweep(&model, 2048, 2048, 0.050, &[8, 16, 24, 32, 40, 56, 80]) {
-        t.push_row(vec![
-            p.stacks.to_string(),
-            p.batch.to_string(),
-            Table::num(p.tokens_per_s),
-            if p.efficient { "*".into() } else { String::new() },
-        ]);
-    }
-    print!("{t}");
+    attacc_bench::harness::run_one("provision", || {
+        let model = attacc_model::ModelConfig::gpt3_175b();
+        let mut t = Table::new(
+            "Provisioning frontier: AttAcc stacks vs throughput (GPT-3 175B, 50 ms SLO, Lin/Lout = 2048)",
+            &["stacks", "batch", "tokens/s", "Pareto"],
+        );
+        for p in provision_sweep(&model, 2048, 2048, 0.050, &[8, 16, 24, 32, 40, 56, 80]) {
+            t.push_row(vec![
+                p.stacks.to_string(),
+                p.batch.to_string(),
+                Table::num(p.tokens_per_s),
+                if p.efficient { "*".into() } else { String::new() },
+            ]);
+        }
+        t
+    });
 }

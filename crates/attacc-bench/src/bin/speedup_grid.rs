@@ -2,15 +2,14 @@
 use attacc_sim::sweep::{grid_table, speedup_grid};
 
 fn main() {
-    let model = attacc_model::ModelConfig::gpt3_175b();
-    let lens = [128u64, 512, 1024, 2048];
-    let cells = speedup_grid(&model, &lens, 1_000);
-    print!(
-        "{}",
+    attacc_bench::harness::run_one("speedup_grid", || {
+        let model = attacc_model::ModelConfig::gpt3_175b();
+        let lens = [128u64, 512, 1024, 2048];
+        let cells = speedup_grid(&model, &lens, 1_000);
         grid_table(
             "Speedup of DGX+AttAccs over DGX_Base across (Lin, Lout), GPT-3 175B",
             &lens,
-            &cells
+            &cells,
         )
-    );
+    });
 }

@@ -1,4 +1,4 @@
 //! Prints Table 1.
 fn main() {
-    print!("{}", attacc_bench::table1());
+    attacc_bench::harness::run_one("table1", attacc_bench::table1);
 }

@@ -1,4 +1,4 @@
 //! Prints the Section 7.1 simulator-validation point.
 fn main() {
-    print!("{}", attacc_bench::validation_table());
+    attacc_bench::harness::run_one("validation", attacc_bench::validation_table);
 }

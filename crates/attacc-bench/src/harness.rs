@@ -1,0 +1,60 @@
+//! Shared CLI plumbing for the figure binaries.
+//!
+//! Every `bin/` driver funnels through [`run`]: flags are parsed
+//! (`--serial` forces single-threaded sweeps, `--quiet` suppresses the
+//! stats footer), the driver runs as a named phase on the sweep engine,
+//! tables go to stdout, and a run report — thread count, per-phase wall
+//! time, timing-cache hit rate — goes to stderr.
+
+use attacc_sim::engine::{self, TimingCache};
+use attacc_sim::Table;
+
+/// Applies engine-relevant CLI flags: `--serial` pins the sweep engine to
+/// one thread (equivalent to `ATTACC_THREADS=1`). Returns `true` when
+/// `--quiet` was passed.
+pub fn init_from_args() -> bool {
+    let mut quiet = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--serial" => engine::set_threads(1),
+            "--quiet" => quiet = true,
+            _ => {}
+        }
+    }
+    quiet
+}
+
+/// Prints the engine run report (threads, per-phase wall time, cache
+/// stats) to stderr.
+pub fn print_stats() {
+    let stats = TimingCache::global().stats();
+    eprintln!(
+        "[attacc] threads={} cache: {} hits / {} misses (hit rate {:.1}%), {} entries",
+        engine::configured_threads(),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        TimingCache::global().len(),
+    );
+    for (phase, seconds) in engine::phase_report() {
+        eprintln!("[attacc]   phase {phase:<24} {seconds:>9.3}s");
+    }
+}
+
+/// Runs a driver producing several tables: parse flags, time it as phase
+/// `name`, print the tables, then the stats footer (unless `--quiet`).
+pub fn run(name: &str, driver: impl FnOnce() -> Vec<Table>) {
+    let quiet = init_from_args();
+    let tables = engine::time_phase(name, driver);
+    for t in &tables {
+        println!("{t}");
+    }
+    if !quiet {
+        print_stats();
+    }
+}
+
+/// [`run`] for a driver producing a single table.
+pub fn run_one(name: &str, driver: impl FnOnce() -> Table) {
+    run(name, || vec![driver()]);
+}

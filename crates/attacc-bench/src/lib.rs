@@ -19,7 +19,9 @@ use attacc_sim::experiment::{
     gqa_ablation, placement_study, roofline_rows, slo_study,
 };
 use attacc_sim::validate::validate_opt66b;
-use attacc_sim::{System, Table};
+use attacc_sim::{SweepRunner, System, Table};
+
+pub mod harness;
 
 /// The paper's three (L_in, L_out) evaluation points for Fig. 13/15/16.
 pub const EVAL_SEQS: [(u64, u64); 3] = [(512, 512), (1024, 1024), (2048, 2048)];
@@ -63,10 +65,19 @@ pub fn fig02() -> Table {
         "Figure 2: % of Gen-stage time in total execution (GPT-3 175B, batch 1)",
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    for &lout in lens.iter().rev() {
+    // Heat-map cells are independent: run the grid on the sweep engine
+    // (row-major over L_out descending, matching the serial loops).
+    let cells: Vec<(u64, u64)> = lens
+        .iter()
+        .rev()
+        .flat_map(|&lout| lens.iter().map(move |&lin| (lin, lout)))
+        .collect();
+    let fracs = SweepRunner::from_env()
+        .map(&cells, |&(lin, lout)| gen_stage_fraction(&sys, &model, lin, lout));
+    for (i, &lout) in lens.iter().rev().enumerate() {
         let mut row = vec![lout.to_string()];
-        for &lin in &lens {
-            row.push(format!("{:.1}", 100.0 * gen_stage_fraction(&sys, &model, lin, lout)));
+        for j in 0..lens.len() {
+            row.push(format!("{:.1}", 100.0 * fracs[i * lens.len() + j]));
         }
         t.push_row(row);
     }
@@ -507,26 +518,33 @@ pub fn capacity_table() -> Table {
     t
 }
 
-/// Every table of the evaluation, in paper order.
+/// Every table of the evaluation, in paper order. Each driver is timed
+/// as its own phase in [`attacc_sim::engine::phase_report`].
 #[must_use]
 pub fn all_tables(n_requests: u64) -> Vec<Table> {
-    let mut out = vec![table1(), capacity_table(), fig02(), fig03()];
-    out.extend(fig04());
-    out.push(fig04_pim());
-    out.push(fig07());
-    out.push(fig13(n_requests));
-    out.push(fig14());
-    out.push(fig15(n_requests));
-    out.push(fig16(n_requests));
-    out.push(fig17(n_requests));
-    out.push(area_table());
-    out.push(ablation_gqa());
-    out.push(ablation_batch_pipe());
-    out.push(ablation_bitwise());
-    out.push(ablation_training());
-    out.push(ablation_bridge());
-    out.push(ablation_scaling());
-    out.push(validation_table());
+    use attacc_sim::engine::time_phase;
+    let mut out = vec![
+        time_phase("table1", table1),
+        time_phase("capacity", capacity_table),
+        time_phase("fig02", fig02),
+        time_phase("fig03", fig03),
+    ];
+    out.extend(time_phase("fig04", fig04));
+    out.push(time_phase("fig04_pim", fig04_pim));
+    out.push(time_phase("fig07", fig07));
+    out.push(time_phase("fig13", || fig13(n_requests)));
+    out.push(time_phase("fig14", fig14));
+    out.push(time_phase("fig15", || fig15(n_requests)));
+    out.push(time_phase("fig16", || fig16(n_requests)));
+    out.push(time_phase("fig17", || fig17(n_requests)));
+    out.push(time_phase("area", area_table));
+    out.push(time_phase("ablation_gqa", ablation_gqa));
+    out.push(time_phase("ablation_batch_pipe", ablation_batch_pipe));
+    out.push(time_phase("ablation_bitwise", ablation_bitwise));
+    out.push(time_phase("ablation_training", ablation_training));
+    out.push(time_phase("ablation_bridge", ablation_bridge));
+    out.push(time_phase("ablation_scaling", ablation_scaling));
+    out.push(time_phase("validation", validation_table));
     out
 }
 

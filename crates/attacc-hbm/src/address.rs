@@ -12,10 +12,12 @@
 //!   layout a conventional controller uses).
 
 use crate::{BankAddr, StackGeometry};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Full physical coordinates of one prefetch-sized beat.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PhysicalAddr {
     /// Pseudo-channel index.
     pub pch: u32,
@@ -28,7 +30,8 @@ pub struct PhysicalAddr {
 }
 
 /// Address-interleaving policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Interleave {
     /// Row-sized blocks rotate over (bank, pCH); rows stay contiguous
     /// within a bank.
@@ -38,7 +41,8 @@ pub enum Interleave {
 }
 
 /// An address mapper for one stack.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct AddressMap {
     geom: StackGeometry,
     policy: Interleave,

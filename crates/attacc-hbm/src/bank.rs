@@ -1,10 +1,12 @@
 //! Per-bank DRAM state machine with timing legality checks.
 
 use crate::TimingParams;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// The operational phase of one DRAM bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum BankPhase {
     /// No row open; ready to activate once tRP has elapsed.
     Idle,
@@ -19,7 +21,8 @@ pub enum BankPhase {
 /// activate), tRC (activate→activate) and the per-bank read cadence
 /// (tCCDL — one beat per column command to the same bank group, which a
 /// single bank trivially is a member of).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BankState {
     /// Current phase.
     pub phase: BankPhase,

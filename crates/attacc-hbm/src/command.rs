@@ -1,10 +1,12 @@
 //! DRAM and PIM command vocabularies.
 
 use crate::BankAddr;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// A conventional per-bank DRAM command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum DramCommand {
     /// Open `row` in `bank`.
     Activate {
@@ -33,7 +35,8 @@ pub enum DramCommand {
 /// The AttAcc PIM command set (§5.1). All are encoded as RFU commands on
 /// the standard HBM command path; the simulator gives each its timing and
 /// energy semantics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum PimCommand {
     /// `PIM_SET_CONFIG`: write KV-partitioning metadata to the GEMV units.
     SetConfig,

@@ -16,10 +16,12 @@
 //! concurrency limits (18 bank-level / 6 BG-level GEMV units per pCH,
 //! §4.1), which pin the *ratios* between the segment energies.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Where in the stack hierarchy an access terminates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum AccessDepth {
     /// Data consumed at the bank (bank-level PIM).
     Bank,
@@ -32,7 +34,8 @@ pub enum AccessDepth {
 }
 
 /// Per-bit energy constants of the HBM datapath.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct EnergyModel {
     /// Row-activation energy, amortized per bit of the row (pJ/bit).
     pub act_pj_per_bit: f64,
@@ -111,7 +114,8 @@ impl EnergyModel {
 }
 
 /// Accumulated energy by category, in picojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct EnergyCounter {
     /// Row activations.
     pub activation_pj: f64,

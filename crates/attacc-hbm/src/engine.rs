@@ -22,6 +22,7 @@ use crate::stats::ChannelStats;
 use crate::{
     AccessDepth, BankAddr, BankState, DramCommand, EnergyCounter, HbmConfig, StackGeometry,
 };
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -279,7 +280,8 @@ impl ChannelEngine {
 }
 
 /// Outcome of issuing one PIM command through [`ChannelEngine::issue_pim`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PimIssueOutcome {
     /// Earliest start across the touched banks (ps).
     pub start_ps: u64,
@@ -385,7 +387,8 @@ impl ChannelEngine {
 
 /// A PIM streaming job over one pseudo-channel: how many bytes each bank
 /// must deliver to its GEMV unit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct StreamSpec {
     /// Bytes to stream per bank (index = dense bank index; zero = unused).
     pub bytes_per_bank: Vec<u64>,
@@ -425,7 +428,8 @@ impl StreamSpec {
 }
 
 /// Result of a streaming simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct StreamOutcome {
     /// Wall-clock picoseconds from first activate to last beat.
     pub elapsed_ps: u64,

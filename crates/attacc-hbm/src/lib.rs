@@ -55,11 +55,13 @@ pub use stack::{simulate_stack, StackOutcome, StackStreamSpec};
 pub use stats::ChannelStats;
 pub use timing::TimingParams;
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// A complete HBM stack configuration: geometry, timing, energy constants
 /// and the derived power constraint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct HbmConfig {
     /// Physical organization of the stack.
     pub geometry: StackGeometry,
@@ -144,6 +146,15 @@ impl HbmConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The sweep engine shares HBM configs across worker threads by
+    /// reference; they must be `Send + Sync`.
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn configs_are_shareable_across_threads() {
+        assert_send_sync::<HbmConfig>();
+    }
 
     #[test]
     fn stack_external_bandwidth_matches_paper() {

@@ -9,10 +9,12 @@
 
 use crate::engine::{simulate_stream, StreamOutcome, StreamSpec};
 use crate::{EnergyCounter, HbmConfig};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// A stack-level streaming job: one [`StreamSpec`] per pseudo-channel.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct StackStreamSpec {
     /// Per-channel specs (length must equal the stack's channel count).
     pub channels: Vec<StreamSpec>,
@@ -44,7 +46,8 @@ impl StackStreamSpec {
 }
 
 /// Outcome of a stack-level stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct StackOutcome {
     /// Stack completion time: the slowest channel (ps).
     pub elapsed_ps: u64,

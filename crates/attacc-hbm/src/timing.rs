@@ -1,5 +1,6 @@
 //! DRAM timing parameters (picosecond granularity).
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// One nanosecond in picoseconds.
@@ -10,7 +11,8 @@ pub const NS: u64 = 1_000;
 /// The values follow the public HBM3 figures the paper quotes: 5.2 Gbps
 /// per pin, tCCDS = 1.5 ns (the GEMV unit's 666 MHz clock is derived from
 /// it, §7.1), tCCDL = 3 ns (§8's "every tCCDL (3 ns)").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct TimingParams {
     /// Per-pin data rate in Gbit/s.
     pub data_rate_gbps: f64,

@@ -1,5 +1,6 @@
 //! Attention sharing variants: multi-head, grouped-query, multi-query.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -18,7 +19,8 @@ use std::fmt;
 /// assert_eq!(AttentionVariant::Gqa { group_size: 8 }.kv_heads(96), 12);
 /// assert_eq!(AttentionVariant::Mqa.kv_heads(96), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 #[derive(Default)]
 pub enum AttentionVariant {
     /// Multi-head attention: one KV pair per query head (the paper default).

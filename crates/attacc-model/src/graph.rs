@@ -1,6 +1,7 @@
 //! Decoder-stage operation graphs for the Sum and Gen phases.
 
 use crate::{AttnShape, FcLayer, ModelConfig, Op, OpClass, Traffic};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Which inference phase a stage belongs to.
@@ -9,7 +10,8 @@ use serde::{Deserialize, Serialize};
 ///   whole `l_in`-token prompt at once; the dominant operations are GEMMs.
 /// * `Gen` — a generation (decode) stage: every request presents one token
 ///   against a growing context; the dominant operations are GEMVs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Phase {
     /// Summarization over an `l_in`-token prompt.
     Sum {
@@ -71,7 +73,8 @@ impl Phase {
 /// let sum = StageWorkload::uniform(&m, Phase::sum(2048), 64);
 /// assert!(sum.flops() > gen.flops()); // prefill does ~L× the compute
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct StageWorkload {
     /// Ops of one decoder block, in execution order.
     pub decoder_ops: Vec<Op>,

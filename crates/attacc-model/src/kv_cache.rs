@@ -1,6 +1,7 @@
 //! KV-cache sizing — the capacity pressure at the heart of §3.2.
 
 use crate::ModelConfig;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// KV-cache geometry of a model: how many bytes the key/value matrices of
@@ -14,7 +15,8 @@ use serde::{Deserialize, Serialize};
 /// let gb = spec.bytes_at(4096) as f64 / (1u64 << 30) as f64;
 /// assert!((gb - 18.0).abs() < 0.2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct KvCacheSpec {
     /// Bytes appended to the cache per token (K and V, all decoders).
     pub bytes_per_token: u64,

@@ -1,10 +1,12 @@
 //! Inference requests and their progress through Sum and Gen stages.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// An inference request: an `l_in`-token prompt that will generate
 /// `l_out` tokens (the last Gen stage emits the end-of-sequence token).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Request {
     /// Unique request id.
     pub id: u64,
@@ -34,7 +36,8 @@ impl Request {
 }
 
 /// Where a request currently is in its lifecycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum SequenceStatus {
     /// Waiting to be admitted into a batch.
     Queued,
@@ -47,7 +50,8 @@ pub enum SequenceStatus {
 }
 
 /// Mutable progress state of an admitted request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct RequestState {
     /// The immutable request description.
     pub request: Request,

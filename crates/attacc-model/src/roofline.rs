@@ -1,6 +1,7 @@
 //! Roofline-model helpers (Fig. 3 of the paper).
 
 use crate::{Op, OpClass};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Arithmetic intensity (FLOPs per off-chip byte) of an op, or `None` for
@@ -12,7 +13,8 @@ pub fn arithmetic_intensity(op: &Op) -> Option<f64> {
 
 /// A point on the roofline: an operation's intensity and the performance a
 /// machine with the given peaks would attain on it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct RooflinePoint {
     /// Operation class (FC, attention, …).
     pub class: OpClass,

@@ -9,10 +9,12 @@
 
 use crate::GemvPlacement;
 use attacc_hbm::HbmConfig;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Fabrication process of a unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum ProcessNode {
     /// 7 nm logic (buffer die).
     Logic7nm,
@@ -53,7 +55,8 @@ pub mod unit_area {
 pub const SYSTOLIC_AREA_FACTOR: f64 = 1.77;
 
 /// Area overhead of one design point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct AreaReport {
     /// Added area per DRAM die (mm²).
     pub per_dram_die_mm2: f64,

@@ -8,6 +8,7 @@
 
 use crate::{GemvPlacement, SoftmaxUnit};
 use attacc_hbm::{AccessDepth, HbmConfig};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// One KV-head's Gen-stage attention work: a GEMV_score over
@@ -18,7 +19,8 @@ use serde::{Deserialize, Serialize};
 /// reconfigured GEMV units apply several query vectors to each streamed KV
 /// beat, so the KV stream is paid once per *KV* head while softmax (and
 /// host traffic) scale with the *query* heads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct HeadJob {
     /// Context length of the owning request.
     pub l: u64,
@@ -55,7 +57,8 @@ impl HeadJob {
 }
 
 /// Timing and energy of one decoder's attention layer on the device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct AttentionTiming {
     /// GEMV_score time on the critical stack (seconds).
     pub score_s: f64,

@@ -4,12 +4,14 @@ use crate::attention::{attention_energy_j, stack_attention_timing, AttentionTimi
 use crate::{GemvPlacement, SoftmaxUnit};
 use attacc_hbm::HbmConfig;
 use attacc_model::ModelConfig;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// An AttAcc device: `n_stacks` PIM-enabled HBM stacks behind one
 /// controller, as deployed in the paper's `DGX+AttAccs` platform (40
 /// stacks, 640 GB, 242 TB/s internal bandwidth at bank placement).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct AttAccDevice {
     /// Per-stack configuration.
     pub hbm: HbmConfig,

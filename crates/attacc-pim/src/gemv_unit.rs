@@ -10,10 +10,12 @@
 //! appended KV vectors load-balanced (§4.2).
 
 use crate::numeric::{f16_round, Matrix};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Numeric behaviour of the functional datapath.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Precision {
     /// Accumulate in `f64` (order-insensitive reference behaviour).
     Exact,
@@ -22,7 +24,8 @@ pub enum Precision {
 }
 
 /// How the lanes partition the matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum GemvMode {
     /// Row-wise lane partitioning (reduction split): adders form a tree.
     AdderTree,
@@ -31,7 +34,8 @@ pub enum GemvMode {
 }
 
 /// A functional GEMV unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct GemvUnit {
     /// Number of multiply lanes (16 in AttAcc).
     pub lanes: usize,

@@ -6,11 +6,13 @@
 //! `AttAcc::RunAttention` launches one head's attention. The
 //! [`crate::AttAccController`] executes these instructions functionally.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An instruction delivered to the AttAcc controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum AttInst {
     /// `AttAcc::SetModel`: configure head geometry. The config memory
     /// stores `N_head`, `d_head` and the maximum context length (§5.1),

@@ -12,6 +12,7 @@
 
 use crate::mapping::HeadId;
 use attacc_hbm::{AddressMap, Interleave, PhysicalAddr, StackGeometry};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -38,7 +39,8 @@ impl fmt::Display for KvStoreFull {
 impl std::error::Error for KvStoreFull {}
 
 /// Which of a head's two matrices a region belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum KvHalf {
     /// The transposed key matrix.
     Key,
@@ -46,7 +48,8 @@ pub enum KvHalf {
     Value,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 struct Extent {
     /// First beat of the extent in the stack's linear beat space.
     start_beat: u64,
@@ -57,7 +60,8 @@ struct Extent {
 }
 
 /// A per-stack KV placement manager.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct KvStore {
     geom: StackGeometry,
     map: AddressMap,

@@ -61,3 +61,22 @@ pub use schedule::{schedule_head, HeadSchedule, ScheduledCommand};
 pub use softmax_unit::SoftmaxUnit;
 pub use systolic::SystolicGemvUnit;
 pub use timing_exec::{execute_head, HeadTrace};
+
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+
+    /// The sweep engine shares device models across worker threads by
+    /// reference; every type it touches must be `Send + Sync`.
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn timing_types_are_shareable_across_threads() {
+        assert_send_sync::<AttAccDevice>();
+        assert_send_sync::<AttentionTiming>();
+        assert_send_sync::<AttAccController>();
+        assert_send_sync::<GemvPlacement>();
+        assert_send_sync::<MappingPolicy>();
+        assert_send_sync::<AreaReport>();
+    }
+}

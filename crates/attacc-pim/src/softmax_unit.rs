@@ -5,10 +5,12 @@
 //! maximum-value calculation, exponent calculation, normalization. A
 //! 512 KB SRAM buffer holds the score vector between the GEMV phases.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Functional and timing model of one softmax unit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SoftmaxUnit {
     /// Parallel FP32 lanes (256 in AttAcc).
     pub lanes: u64,

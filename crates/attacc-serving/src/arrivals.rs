@@ -7,11 +7,13 @@ use crate::scheduler::{SchedulerConfig, StageExecutor};
 use attacc_model::{Request, RequestState, SequenceStatus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A timed request population.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ArrivalWorkload {
     /// `(arrival_time_s, request)` pairs in arrival order.
     pub arrivals: Vec<(f64, Request)>,
@@ -69,7 +71,8 @@ impl ArrivalWorkload {
 }
 
 /// Order statistics of a latency sample.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct LatencyStats {
     /// Arithmetic mean (s).
     pub mean_s: f64,
@@ -104,7 +107,8 @@ impl LatencyStats {
 }
 
 /// Outcome of an open-loop serving run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct OpenLoopReport {
     /// Requests fully served.
     pub completed: u64,

@@ -1,0 +1,529 @@
+//! The sweep engine: parallel experiment execution plus a memoized
+//! timing cache.
+//!
+//! Every figure driver in this workspace evaluates a grid of independent
+//! design-space cells — (model, system, batch, sequence shape) tuples —
+//! and each cell bottoms out in the same two pure timing queries
+//! ([`crate::SystemExecutor::gen_stage_detail`] and the Sum-stage cost).
+//! This module supplies the two pieces of shared machinery:
+//!
+//! * [`SweepRunner`] shards a slice of independent cells across scoped
+//!   worker threads and merges results **by index**, so the output is
+//!   bit-identical to a serial run regardless of thread count or
+//!   scheduling order.
+//! * [`TimingCache`] memoizes timing-query results keyed by the exact
+//!   (system, model, query) triple, so overlapping sweeps (e.g. the same
+//!   `DGX_Base` baseline re-timed by every figure) are computed once.
+//!
+//! Thread count resolves as: [`set_threads`] override (the `--serial`
+//! flag) → `ATTACC_THREADS` → `std::thread::available_parallelism()`.
+//! The cache can be disabled with `ATTACC_CACHE=0`.
+
+use crate::exec::StageBreakdown;
+use attacc_model::ModelConfig;
+use attacc_serving::StageCost;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread;
+use std::time::Instant;
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces every subsequently created [`SweepRunner::from_env`] to use
+/// `threads` workers (`1` = serial). Used by the `--serial` escape hatch
+/// and the determinism tests.
+pub fn set_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::SeqCst);
+}
+
+/// The thread count [`SweepRunner::from_env`] resolves to right now.
+#[must_use]
+pub fn configured_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("ATTACC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Executes independent design-space cells on a pool of scoped workers.
+///
+/// Results are merged by input index, so `map` output is byte-identical
+/// to the serial `items.iter().map(f).collect()` for any thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner with the environment-resolved thread count.
+    #[must_use]
+    pub fn from_env() -> SweepRunner {
+        SweepRunner { threads: configured_threads() }
+    }
+
+    /// A single-threaded runner.
+    #[must_use]
+    pub fn serial() -> SweepRunner {
+        SweepRunner { threads: 1 }
+    }
+
+    /// A runner with exactly `threads` workers (at least one).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> SweepRunner {
+        SweepRunner { threads: threads.max(1) }
+    }
+
+    /// The worker count this runner uses.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, possibly in parallel, preserving input
+    /// order in the output.
+    pub fn map<I, R, F>(&self, items: &[I], f: F) -> Vec<R>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(&I) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(items.len());
+        let per_worker: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= items.len() {
+                                break;
+                            }
+                            out.push((idx, f(&items[idx])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (idx, r) in per_worker.into_iter().flatten() {
+            debug_assert!(slots[idx].is_none(), "index {idx} computed twice");
+            slots[idx] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index computed exactly once"))
+            .collect()
+    }
+
+    /// [`SweepRunner::map`] over an owned item list.
+    pub fn map_vec<I, R, F>(&self, items: Vec<I>, f: F) -> Vec<R>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(&I) -> R + Sync,
+    {
+        self.map(&items, f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-phase wall-time accounting
+// ---------------------------------------------------------------------
+
+fn phase_registry() -> &'static Mutex<Vec<(String, f64)>> {
+    static PHASES: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    PHASES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Runs `f`, accumulating its wall-clock time under `name` in the
+/// process-wide phase report (repeated names accumulate).
+pub fn time_phase<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let result = f();
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut phases = phase_registry().lock().expect("phase registry lock");
+    if let Some(entry) = phases.iter_mut().find(|(n, _)| n == name) {
+        entry.1 += elapsed;
+    } else {
+        phases.push((name.to_string(), elapsed));
+    }
+    result
+}
+
+/// Accumulated `(phase, seconds)` pairs in first-recorded order.
+#[must_use]
+pub fn phase_report() -> Vec<(String, f64)> {
+    phase_registry().lock().expect("phase registry lock").clone()
+}
+
+/// Clears the phase report (tests and long-lived drivers).
+pub fn reset_phase_report() {
+    phase_registry().lock().expect("phase registry lock").clear();
+}
+
+// ---------------------------------------------------------------------
+// Timing cache
+// ---------------------------------------------------------------------
+
+/// A memoizable timing query against one (system, model) pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TimingQuery {
+    /// One Gen iteration over `(count, context)` groups.
+    Gen(Vec<(u64, u64)>),
+    /// One Sum (prefill) stage.
+    Sum {
+        /// Requests summarized together.
+        batch: u64,
+        /// Prompt length.
+        l_in: u64,
+    },
+}
+
+/// A memoized timing result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimingValue {
+    /// Result of a [`TimingQuery::Gen`] query.
+    Gen(StageBreakdown),
+    /// Result of a [`TimingQuery::Sum`] query.
+    Sum(StageCost),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    system: u32,
+    model: u32,
+    query: TimingQuery,
+}
+
+/// Cache hit/miss counters at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all queries (0 when none were made).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const CACHE_SHARDS: usize = 16;
+
+/// A sharded memoization table for the pure per-stage timing queries.
+///
+/// Keys are `(interned system, interned model, query)` triples — see
+/// [`intern_system`] / [`intern_model`] — so equal configurations share
+/// entries across executors while distinct ones can never collide.
+/// Values are the exact `StageBreakdown` / `StageCost` the uncached path
+/// returns, making warm results bit-identical to cold ones.
+pub struct TimingCache {
+    shards: Vec<Mutex<HashMap<CacheKey, TimingValue>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: bool,
+}
+
+impl std::fmt::Debug for TimingCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimingCache")
+            .field("entries", &self.len())
+            .field("stats", &self.stats())
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl TimingCache {
+    /// An empty cache. `enabled = false` makes every query compute.
+    #[must_use]
+    pub fn new(enabled: bool) -> TimingCache {
+        TimingCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// The process-wide cache every [`crate::SystemExecutor`] consults.
+    /// Enabled unless the process started with `ATTACC_CACHE=0`.
+    #[must_use]
+    pub fn global() -> &'static TimingCache {
+        static GLOBAL: OnceLock<TimingCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let disabled = std::env::var("ATTACC_CACHE").is_ok_and(|v| v.trim() == "0");
+            TimingCache::new(!disabled)
+        })
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, TimingValue>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<TimingValue> {
+        let found = self.shard_of(key).lock().expect("cache shard lock").get(key).copied();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn store(&self, key: CacheKey, value: TimingValue) {
+        self.shard_of(&key).lock().expect("cache shard lock").insert(key, value);
+    }
+
+    /// The memoized Gen-stage breakdown, computing on miss. The compute
+    /// closure runs outside any shard lock; concurrent misses of the same
+    /// key may compute redundantly but always store the same pure value.
+    pub fn gen_breakdown(
+        &self,
+        system: u32,
+        model: u32,
+        groups: &[(u64, u64)],
+        compute: impl FnOnce() -> StageBreakdown,
+    ) -> StageBreakdown {
+        if !self.enabled {
+            return compute();
+        }
+        let key = CacheKey { system, model, query: TimingQuery::Gen(groups.to_vec()) };
+        if let Some(TimingValue::Gen(b)) = self.lookup(&key) {
+            return b;
+        }
+        let value = compute();
+        self.store(key, TimingValue::Gen(value));
+        value
+    }
+
+    /// The memoized Sum-stage cost, computing on miss.
+    pub fn sum_cost(
+        &self,
+        system: u32,
+        model: u32,
+        batch: u64,
+        l_in: u64,
+        compute: impl FnOnce() -> StageCost,
+    ) -> StageCost {
+        if !self.enabled {
+            return compute();
+        }
+        let key = CacheKey { system, model, query: TimingQuery::Sum { batch, l_in } };
+        if let Some(TimingValue::Sum(c)) = self.lookup(&key) {
+            return c;
+        }
+        let value = compute();
+        self.store(key, TimingValue::Sum(value));
+        value
+    }
+
+    /// Number of memoized entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard lock").len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized entry (counters are kept; see
+    /// [`TimingCache::reset_stats`]).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard lock").clear();
+        }
+    }
+
+    /// Hit/miss counters since construction or the last reset.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the hit/miss counters.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interners
+// ---------------------------------------------------------------------
+
+/// Interns a system's exact `Debug` representation to a compact id.
+/// Equality is textual, so two ids are equal iff every field (including
+/// every float, printed exactly) matches — a conservative key that can
+/// never alias distinct configurations.
+#[must_use]
+pub fn intern_system(debug_repr: &str) -> u32 {
+    static IDS: OnceLock<Mutex<HashMap<String, u32>>> = OnceLock::new();
+    let mut ids = IDS.get_or_init(|| Mutex::new(HashMap::new())).lock().expect("interner lock");
+    let next = u32::try_from(ids.len()).expect("fewer than 2^32 distinct systems");
+    *ids.entry(debug_repr.to_string()).or_insert(next)
+}
+
+/// Interns a model configuration to a compact id (exact field equality).
+#[must_use]
+pub fn intern_model(model: &ModelConfig) -> u32 {
+    static IDS: OnceLock<Mutex<HashMap<ModelConfig, u32>>> = OnceLock::new();
+    let mut ids = IDS.get_or_init(|| Mutex::new(HashMap::new())).lock().expect("interner lock");
+    let next = u32::try_from(ids.len()).expect("fewer than 2^32 distinct models");
+    *ids.entry(model.clone()).or_insert(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn shared_engine_types_are_send_sync() {
+        assert_send_sync::<TimingCache>();
+        assert_send_sync::<SweepRunner>();
+        assert_send_sync::<crate::SystemExecutor>();
+        assert_send_sync::<crate::System>();
+        assert_send_sync::<StageBreakdown>();
+        assert_send_sync::<StageCost>();
+    }
+
+    #[test]
+    fn map_preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = SweepRunner::serial().map(&items, |&x| x * x + 1);
+        for threads in [2, 3, 8, 64] {
+            let par = SweepRunner::with_threads(threads).map(&items, |&x| x * x + 1);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let r = SweepRunner::with_threads(4);
+        assert_eq!(r.map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(r.map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn cache_hit_returns_stored_value_and_counts() {
+        let cache = TimingCache::new(true);
+        let groups = [(4u64, 128u64)];
+        let mut computes = 0u32;
+        let mut run = |v: f64| {
+            cache.gen_breakdown(1, 2, &groups, || {
+                computes += 1;
+                StageBreakdown { total_s: v, ..StageBreakdown::default() }
+            })
+        };
+        let first = run(1.5);
+        // The second closure would return 99.0, but the hit must return
+        // the memoized 1.5 and never run the closure.
+        let second = run(99.0);
+        assert_eq!(computes, 1);
+        assert_eq!(first.total_s, 1.5);
+        assert_eq!(second, first);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = TimingCache::new(true);
+        let a = cache.sum_cost(0, 0, 8, 128, || StageCost { latency_s: 1.0, energy_j: 0.0 });
+        let b = cache.sum_cost(0, 0, 8, 256, || StageCost { latency_s: 2.0, energy_j: 0.0 });
+        let c = cache.sum_cost(1, 0, 8, 128, || StageCost { latency_s: 3.0, energy_j: 0.0 });
+        assert_eq!((a.latency_s, b.latency_s, c.latency_s), (1.0, 2.0, 3.0));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn disabled_cache_always_computes() {
+        let cache = TimingCache::new(false);
+        let mut computes = 0u32;
+        for _ in 0..3 {
+            cache.gen_breakdown(0, 0, &[(1, 1)], || {
+                computes += 1;
+                StageBreakdown::default()
+            });
+        }
+        assert_eq!(computes, 3);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0 });
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_functioning() {
+        let cache = TimingCache::new(true);
+        cache.sum_cost(0, 0, 1, 1, StageCost::default);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        let v = cache.sum_cost(0, 0, 1, 1, || StageCost { latency_s: 4.0, energy_j: 0.0 });
+        assert_eq!(v.latency_s, 4.0);
+    }
+
+    #[test]
+    fn interners_are_stable_and_injective() {
+        let a = intern_system("sys-a");
+        let b = intern_system("sys-b");
+        assert_ne!(a, b);
+        assert_eq!(intern_system("sys-a"), a);
+        let m1 = ModelConfig::gpt3_175b();
+        let mut m2 = m1.clone();
+        m2.n_decoder += 1;
+        assert_ne!(intern_model(&m1), intern_model(&m2));
+        assert_eq!(intern_model(&m1), intern_model(&m1.clone()));
+    }
+
+    #[test]
+    fn phase_timer_accumulates_by_name() {
+        reset_phase_report();
+        let x = time_phase("unit-phase", || 41) + 1;
+        time_phase("unit-phase", || ());
+        assert_eq!(x, 42);
+        let report = phase_report();
+        let entry = report.iter().find(|(n, _)| n == "unit-phase").expect("recorded");
+        assert!(entry.1 >= 0.0);
+        assert_eq!(report.iter().filter(|(n, _)| n == "unit-phase").count(), 1);
+    }
+}

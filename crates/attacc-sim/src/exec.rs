@@ -1,12 +1,15 @@
 //! Stage execution on each platform (§5.2's execution flow).
 
+use crate::engine::{self, TimingCache};
 use crate::{System, SystemKind};
 use attacc_model::{FcLayer, ModelConfig, Op, OpClass, Phase, StageWorkload};
 use attacc_serving::{
     ff_coprocess_speedup, head_level_pipelined_s, serial_s, DecoderPhases, StageCost,
     StageExecutor,
 };
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Idle power of the AttAcc board (controllers, PHYs), watts.
 const ATTACC_STATIC_W: f64 = 100.0;
@@ -16,7 +19,8 @@ const ATTACC_STATIC_W: f64 = 100.0;
 /// Component times are pre-overlap sums; `total_s` is the end-to-end time
 /// after pipelining, so components may sum to more than the total on
 /// optimized platforms.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct StageBreakdown {
     /// FC-layer time (QKV, projection, feedforward, LM head).
     pub fc_s: f64,
@@ -35,10 +39,14 @@ pub struct StageBreakdown {
 }
 
 /// Executes Sum/Gen stages of `model` on `system`.
+///
+/// Timing queries are memoized in [`TimingCache::global`]; the cache key
+/// ids are interned lazily on first query and shared by clones.
 #[derive(Debug, Clone)]
 pub struct SystemExecutor {
     system: System,
     model: ModelConfig,
+    cache_ids: OnceLock<(u32, u32)>,
 }
 
 impl SystemExecutor {
@@ -48,7 +56,18 @@ impl SystemExecutor {
         SystemExecutor {
             system,
             model: model.clone(),
+            cache_ids: OnceLock::new(),
         }
+    }
+
+    /// The interned `(system, model)` cache-key pair for this executor.
+    fn cache_ids(&self) -> (u32, u32) {
+        *self.cache_ids.get_or_init(|| {
+            (
+                engine::intern_system(&format!("{:?}", self.system)),
+                engine::intern_model(&self.model),
+            )
+        })
     }
 
     /// The platform being executed on.
@@ -71,13 +90,25 @@ impl SystemExecutor {
         rows * (2 * d + 2 * kv) * self.model.dtype.bytes()
     }
 
-    /// Full detail of one Gen iteration over `(count, context)` groups.
+    /// Full detail of one Gen iteration over `(count, context)` groups,
+    /// memoized in the global [`TimingCache`].
     #[must_use]
     pub fn gen_stage_detail(&self, groups: &[(u64, u64)]) -> StageBreakdown {
         let groups: Vec<(u64, u64)> = groups.iter().copied().filter(|&(n, _)| n > 0).collect();
         if groups.is_empty() {
             return StageBreakdown::default();
         }
+        let (system, model) = self.cache_ids();
+        TimingCache::global()
+            .gen_breakdown(system, model, &groups, || self.gen_stage_detail_uncached(&groups))
+    }
+
+    /// [`SystemExecutor::gen_stage_detail`] bypassing the cache. Groups
+    /// must be non-empty with non-zero counts (the cached wrapper
+    /// normalizes them).
+    #[must_use]
+    pub fn gen_stage_detail_uncached(&self, groups: &[(u64, u64)]) -> StageBreakdown {
+        let groups: Vec<(u64, u64)> = groups.to_vec();
         let wl = StageWorkload::gen_with_contexts(&self.model, &groups);
         match self.system.kind {
             SystemKind::DgxBase | SystemKind::DgxLarge | SystemKind::TwoDgx => {
@@ -277,11 +308,11 @@ impl SystemExecutor {
     }
 }
 
-impl StageExecutor for SystemExecutor {
-    fn sum_stage(&self, batch: u64, l_in: u64) -> StageCost {
-        if batch == 0 {
-            return StageCost::default();
-        }
+impl SystemExecutor {
+    /// The Sum-stage cost bypassing the cache (see
+    /// [`StageExecutor::sum_stage`]).
+    #[must_use]
+    pub fn sum_stage_uncached(&self, batch: u64, l_in: u64) -> StageCost {
         let wl = StageWorkload::uniform(&self.model, Phase::sum(l_in), batch);
         let t = self.system.gpu.stage_time(&wl);
         match self.system.kind {
@@ -306,6 +337,17 @@ impl StageExecutor for SystemExecutor {
                 energy_j: t.energy_j,
             },
         }
+    }
+}
+
+impl StageExecutor for SystemExecutor {
+    fn sum_stage(&self, batch: u64, l_in: u64) -> StageCost {
+        if batch == 0 {
+            return StageCost::default();
+        }
+        let (system, model) = self.cache_ids();
+        TimingCache::global()
+            .sum_cost(system, model, batch, l_in, || self.sum_stage_uncached(batch, l_in))
     }
 
     fn gen_stage(&self, groups: &[(u64, u64)]) -> StageCost {

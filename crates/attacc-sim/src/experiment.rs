@@ -7,13 +7,14 @@
 //! batch and uniformly mixed request progress, the Gen batch's context
 //! lengths are spread over `[l_in, l_in + l_out]`.
 
-use crate::{System, SystemExecutor};
+use crate::{SweepRunner, System, SystemExecutor};
 use attacc_model::{
     AttentionVariant, DataType, KvCacheSpec, ModelConfig, Op, Phase, RooflinePoint, StageWorkload,
     GIB,
 };
 use attacc_pim::{AreaReport, GemvPlacement};
 use attacc_serving::{max_batch_under_slo, StageExecutor};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Hard cap on explored batch sizes (the paper never exceeds 256).
@@ -123,7 +124,8 @@ pub fn gen_stage_fraction(system: &System, model: &ModelConfig, l_in: u64, l_out
 // ---------------------------------------------------------------- Fig. 3
 
 /// One labeled point of the Fig. 3 roofline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct RooflineRow {
     /// Series label (e.g. `"Gen FC b=64"`).
     pub label: String,
@@ -182,7 +184,8 @@ pub fn roofline_rows(system: &System, model: &ModelConfig, l_in: u64, batches: &
 // ---------------------------------------------------------------- Fig. 4
 
 /// One batch-size row of the Fig. 4 batching study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BatchingRow {
     /// Batch size.
     pub batch: u64,
@@ -218,9 +221,7 @@ pub fn batching_study(
 ) -> Vec<BatchingRow> {
     let exec = SystemExecutor::new(system.clone(), model);
     let spec = KvCacheSpec::of(model);
-    batches
-        .iter()
-        .map(|&b| {
+    SweepRunner::from_env().map(batches, |&b| {
             let groups = steady_state_groups(b, l_in, l_out);
             let d = exec.gen_stage_detail(&groups);
             let denom = d.fc_s + d.attn_s + d.other_s + d.comm_s;
@@ -239,13 +240,13 @@ pub fn batching_study(
                 utilization: d.utilization,
             }
         })
-        .collect()
 }
 
 // ---------------------------------------------------------------- Fig. 7
 
 /// One design point of the Fig. 7 placement study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PlacementRow {
     /// Design point name.
     pub placement: String,
@@ -265,8 +266,7 @@ pub struct PlacementRow {
 /// attention layer of `model` at batch `batch`, context `l`.
 #[must_use]
 pub fn placement_study(model: &ModelConfig, batch: u64, l: u64) -> Vec<PlacementRow> {
-    let mut raw = Vec::new();
-    for placement in GemvPlacement::ALL {
+    let raw = SweepRunner::from_env().map(&GemvPlacement::ALL, |&placement| {
         let dev = attacc_pim::AttAccDevice::paper_40_stacks(placement);
         let t = dev.attention_decoder_time(model, &[(batch, l)], true);
         let hbm = &dev.hbm;
@@ -277,8 +277,8 @@ pub fn placement_study(model: &ModelConfig, batch: u64, l: u64) -> Vec<Placement
             placement.depth(),
         );
         let area = AreaReport::for_placement(placement, hbm);
-        raw.push((placement, t.total_s, t.energy_j, power, area));
-    }
+        (placement, t.total_s, t.energy_j, power, area)
+    });
     let (base_t, base_e) = (raw[0].1, raw[0].2);
     let base_area = raw[0]
         .4
@@ -303,7 +303,8 @@ pub fn placement_study(model: &ModelConfig, batch: u64, l: u64) -> Vec<Placement
 // --------------------------------------------------------------- Fig. 13
 
 /// One bar of Fig. 13.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct EndToEndRow {
     /// Model name.
     pub model: String,
@@ -325,41 +326,49 @@ pub struct EndToEndRow {
 
 /// The Fig. 13 end-to-end comparison: serve `n_requests` fixed-shape
 /// requests on every system. Also feeds Fig. 15 (energy).
+///
+/// `(model, seq)` cells are independent and run on the [`SweepRunner`];
+/// the five-system loop inside a cell stays serial because each bar is
+/// normalized to the cell's `DGX_Base` time.
 #[must_use]
 pub fn end_to_end(
     models: &[ModelConfig],
     seqs: &[(u64, u64)],
     n_requests: u64,
 ) -> Vec<EndToEndRow> {
-    let mut rows = Vec::new();
-    for model in models {
-        for &(l_in, l_out) in seqs {
-            let mut base_time = None;
-            for system in System::fig13_systems() {
-                let batch = max_feasible_batch(&system, model, l_in, l_out, None).max(1);
-                let exec = SystemExecutor::new(system.clone(), model);
-                let (time, energy) = analytic_serve(&exec, l_in, l_out, n_requests, batch);
-                let base = *base_time.get_or_insert(time);
-                rows.push(EndToEndRow {
-                    model: model.name.clone(),
-                    l_in,
-                    l_out,
-                    system: system.name(),
-                    batch,
-                    time_s: time,
-                    normalized: time / base,
-                    energy_per_token_j: energy / (n_requests * l_out) as f64,
-                });
-            }
+    let cells: Vec<(&ModelConfig, u64, u64)> = models
+        .iter()
+        .flat_map(|m| seqs.iter().map(move |&(l_in, l_out)| (m, l_in, l_out)))
+        .collect();
+    let per_cell = SweepRunner::from_env().map(&cells, |&(model, l_in, l_out)| {
+        let mut rows = Vec::new();
+        let mut base_time = None;
+        for system in System::fig13_systems() {
+            let batch = max_feasible_batch(&system, model, l_in, l_out, None).max(1);
+            let exec = SystemExecutor::new(system.clone(), model);
+            let (time, energy) = analytic_serve(&exec, l_in, l_out, n_requests, batch);
+            let base = *base_time.get_or_insert(time);
+            rows.push(EndToEndRow {
+                model: model.name.clone(),
+                l_in,
+                l_out,
+                system: system.name(),
+                batch,
+                time_s: time,
+                normalized: time / base,
+                energy_per_token_j: energy / (n_requests * l_out) as f64,
+            });
         }
-    }
-    rows
+        rows
+    });
+    per_cell.into_iter().flatten().collect()
 }
 
 // --------------------------------------------------------------- Fig. 14
 
 /// One bar of Fig. 14.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SloRow {
     /// System label.
     pub system: String,
@@ -375,32 +384,33 @@ pub struct SloRow {
 #[must_use]
 pub fn slo_study(model: &ModelConfig, l_in: u64, l_out: u64, slos: &[Option<f64>]) -> Vec<SloRow> {
     let systems = [System::dgx_base(), System::dgx_large(), System::dgx_attacc_full()];
-    let mut rows = Vec::new();
-    for &slo in slos {
-        for system in &systems {
-            let batch = max_feasible_batch(system, model, l_in, l_out, slo);
-            let exec = SystemExecutor::new(system.clone(), model);
-            let tokens_per_s = if batch == 0 {
-                0.0
-            } else {
-                let groups = steady_state_groups(batch, l_in, l_out);
-                batch as f64 / exec.gen_stage(&groups).latency_s
-            };
-            rows.push(SloRow {
-                system: system.name(),
-                slo_s: slo,
-                max_batch: batch,
-                tokens_per_s,
-            });
+    let cells: Vec<(Option<f64>, &System)> = slos
+        .iter()
+        .flat_map(|&slo| systems.iter().map(move |s| (slo, s)))
+        .collect();
+    SweepRunner::from_env().map(&cells, |&(slo, system)| {
+        let batch = max_feasible_batch(system, model, l_in, l_out, slo);
+        let exec = SystemExecutor::new(system.clone(), model);
+        let tokens_per_s = if batch == 0 {
+            0.0
+        } else {
+            let groups = steady_state_groups(batch, l_in, l_out);
+            batch as f64 / exec.gen_stage(&groups).latency_s
+        };
+        SloRow {
+            system: system.name(),
+            slo_s: slo,
+            max_batch: batch,
+            tokens_per_s,
         }
-    }
-    rows
+    })
 }
 
 // --------------------------------------------------------------- Fig. 16
 
 /// One group of Fig. 16.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BitwidthRow {
     /// Data type evaluated.
     pub dtype: String,
@@ -417,34 +427,35 @@ pub struct BitwidthRow {
 /// The Fig. 16 bit-width sensitivity study (FP16 vs INT8).
 #[must_use]
 pub fn bitwidth_study(model: &ModelConfig, seqs: &[(u64, u64)], n_requests: u64) -> Vec<BitwidthRow> {
-    let mut rows = Vec::new();
-    for dtype in [DataType::Fp16, DataType::Int8] {
+    let cells: Vec<(DataType, u64, u64)> = [DataType::Fp16, DataType::Int8]
+        .iter()
+        .flat_map(|&dtype| seqs.iter().map(move |&(l_in, l_out)| (dtype, l_in, l_out)))
+        .collect();
+    SweepRunner::from_env().map(&cells, |&(dtype, l_in, l_out)| {
         let m = model.with_dtype(dtype);
-        for &(l_in, l_out) in seqs {
-            let time_on = |system: System| {
-                let batch = max_feasible_batch(&system, &m, l_in, l_out, None).max(1);
-                let exec = SystemExecutor::new(system, &m);
-                analytic_serve(&exec, l_in, l_out, n_requests, batch).0
-            };
-            let base = time_on(System::dgx_base());
-            let large = time_on(System::dgx_large());
-            let pim = time_on(System::dgx_attacc_full());
-            rows.push(BitwidthRow {
-                dtype: dtype.to_string(),
-                l_in,
-                l_out,
-                speedup_vs_base: base / pim,
-                speedup_vs_large: large / pim,
-            });
+        let time_on = |system: System| {
+            let batch = max_feasible_batch(&system, &m, l_in, l_out, None).max(1);
+            let exec = SystemExecutor::new(system, &m);
+            analytic_serve(&exec, l_in, l_out, n_requests, batch).0
+        };
+        let base = time_on(System::dgx_base());
+        let large = time_on(System::dgx_large());
+        let pim = time_on(System::dgx_attacc_full());
+        BitwidthRow {
+            dtype: dtype.to_string(),
+            l_in,
+            l_out,
+            speedup_vs_base: base / pim,
+            speedup_vs_large: large / pim,
         }
-    }
-    rows
+    })
 }
 
 // --------------------------------------------------------------- Fig. 17
 
 /// One bar of Fig. 17.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct AlternativeRow {
     /// System label.
     pub system: String,
@@ -467,8 +478,10 @@ pub fn alternatives_study(model: &ModelConfig, seqs: &[(u64, u64)], n_requests: 
         System::two_dgx(),
         System::dgx_attacc_full(),
     ];
-    let mut rows = Vec::new();
-    for &(l_in, l_out) in seqs {
+    // Sequence cells run in parallel; the system loop inside each cell is
+    // serial because bars are normalized to the cell's DGX_Base.
+    let per_seq = SweepRunner::from_env().map(seqs, |&(l_in, l_out)| {
+        let mut rows = Vec::new();
         let mut base_tput = None;
         for system in &systems {
             let batch = max_feasible_batch(system, model, l_in, l_out, None).max(1);
@@ -484,14 +497,16 @@ pub fn alternatives_study(model: &ModelConfig, seqs: &[(u64, u64)], n_requests: 
                 normalized_throughput: tput / base,
             });
         }
-    }
-    rows
+        rows
+    });
+    per_seq.into_iter().flatten().collect()
 }
 
 // ------------------------------------------------------------ §8 GQA/MQA
 
 /// One row of the GQA/MQA ablation (§8).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct GqaRow {
     /// Heads sharing one KV pair.
     pub group_size: u32,
@@ -511,9 +526,7 @@ pub fn gqa_ablation(model: &ModelConfig, batch: u64, l: u64, group_sizes: &[u32]
     let gpu = System::dgx_base().gpu;
     let attacc = attacc_pim::AttAccDevice::paper_40_stacks(GemvPlacement::Bank);
     let systolic = attacc_pim::AttAccDevice::paper_40_stacks(GemvPlacement::Bank).with_systolic();
-    group_sizes
-        .iter()
-        .map(|&g| {
+    SweepRunner::from_env().map(group_sizes, |&g| {
             let variant = if g == 1 {
                 AttentionVariant::Mha
             } else if g == model.n_head {
@@ -538,13 +551,13 @@ pub fn gqa_ablation(model: &ModelConfig, batch: u64, l: u64, group_sizes: &[u32]
                 systolic_speedup: gpu_s / sys_s,
             }
         })
-        .collect()
 }
 
 // ------------------------------------------------ §6.1 batch-level pipe
 
 /// One row of the batch-level pipelining ablation (§6.1, Fig. 11(c)).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BatchPipeRow {
     /// Strategy label.
     pub strategy: String,
@@ -594,7 +607,8 @@ pub fn batch_pipelining_ablation(model: &ModelConfig, l_in: u64, l_out: u64) -> 
 // ------------------------------------------------- bridge sensitivity
 
 /// One row of the interconnect-sensitivity sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BridgeRow {
     /// Bridge label.
     pub bridge: String,
@@ -618,9 +632,8 @@ pub fn bridge_sensitivity(
     l: u64,
     bridges: &[attacc_xpu::Interconnect],
 ) -> Vec<BridgeRow> {
-    let mut rows: Vec<BridgeRow> = bridges
-        .iter()
-        .map(|bridge| {
+    let mut rows: Vec<BridgeRow> =
+        SweepRunner::from_env().map(bridges, |bridge| {
             let mut system = System::dgx_attacc_full();
             system.bridge = bridge.clone();
             let exec = SystemExecutor::new(system, model);
@@ -631,8 +644,7 @@ pub fn bridge_sensitivity(
                 iteration_ms: t * 1e3,
                 slowdown: 0.0,
             }
-        })
-        .collect();
+        });
     let best = rows
         .iter()
         .map(|r| r.iteration_ms)
@@ -646,7 +658,8 @@ pub fn bridge_sensitivity(
 // ----------------------------------------------------- model scaling
 
 /// One row of the model-scaling study (§7.2's interpretation).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ScalingRow {
     /// Model name.
     pub model: String,
@@ -670,9 +683,7 @@ pub fn model_scaling_study(
     l_out: u64,
     n_requests: u64,
 ) -> Vec<ScalingRow> {
-    models
-        .iter()
-        .map(|m| {
+    SweepRunner::from_env().map(models, |m| {
             let base_sys = System::dgx_base();
             let pim_sys = System::dgx_attacc_full();
             let b_base = max_feasible_batch(&base_sys, m, l_in, l_out, None).max(1);
@@ -701,13 +712,13 @@ pub fn model_scaling_study(
                 speedup: t_base / t_pim,
             }
         })
-        .collect()
 }
 
 // ------------------------------------------------------ §8 training
 
 /// One row of the training-implication ablation (§8).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct TrainingRow {
     /// Phase label.
     pub phase: String,

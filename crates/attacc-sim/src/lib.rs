@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod breakdown;
+pub mod engine;
 pub mod exec;
 pub mod experiment;
 pub mod provision;
@@ -35,6 +36,7 @@ pub mod sweep;
 pub mod system;
 pub mod validate;
 
+pub use engine::{SweepRunner, TimingCache};
 pub use exec::SystemExecutor;
 pub use report::Table;
 pub use system::{System, SystemKind};

@@ -6,13 +6,15 @@
 //! (throughput cannot improve without adding silicon).
 
 use crate::experiment::steady_state_groups;
-use crate::{System, SystemExecutor};
+use crate::{SweepRunner, System, SystemExecutor};
 use attacc_model::{KvCacheSpec, ModelConfig};
 use attacc_serving::{max_batch_by_capacity, max_batch_under_slo, StageExecutor};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// One provisioning point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ProvisionPoint {
     /// AttAcc stacks on the device.
     pub stacks: u32,
@@ -40,9 +42,8 @@ pub fn provision_sweep(
     assert!(!stack_counts.is_empty(), "need at least one configuration");
     assert!(slo_s > 0.0, "SLO must be positive");
     let spec = KvCacheSpec::of(model);
-    let mut points: Vec<ProvisionPoint> = stack_counts
-        .iter()
-        .map(|&stacks| {
+    let mut points: Vec<ProvisionPoint> =
+        SweepRunner::from_env().map(stack_counts, |&stacks| {
             let mut system = System::dgx_attacc_full();
             system
                 .attacc
@@ -69,8 +70,7 @@ pub fn provision_sweep(
                 tokens_per_s,
                 efficient: false,
             }
-        })
-        .collect();
+        });
     // Pareto: efficient iff no point with ≤ stacks achieves ≥ throughput
     // (strictly better on one axis).
     for i in 0..points.len() {

@@ -2,12 +2,14 @@
 
 use crate::experiment::{analytic_serve, max_feasible_batch};
 use crate::report::Table;
-use crate::{System, SystemExecutor};
+use crate::{SweepRunner, System, SystemExecutor};
 use attacc_model::ModelConfig;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// One cell of the (L_in, L_out) speedup sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SpeedupCell {
     /// Prompt length.
     pub l_in: u64,
@@ -19,26 +21,27 @@ pub struct SpeedupCell {
 
 /// Sweeps the full `DGX+AttAccs` speedup over `DGX_Base` across a grid of
 /// sequence shapes — the companion of Fig. 2's heat map showing *where*
-/// the PIM platform pays off.
+/// the PIM platform pays off. Grid cells are independent and run on the
+/// [`SweepRunner`]; output order matches the serial nested loops exactly.
 #[must_use]
 pub fn speedup_grid(model: &ModelConfig, lens: &[u64], n_requests: u64) -> Vec<SpeedupCell> {
     let base_sys = System::dgx_base();
     let pim_sys = System::dgx_attacc_full();
-    let mut cells = Vec::with_capacity(lens.len() * lens.len());
-    for &l_in in lens {
-        for &l_out in lens {
-            let time = |sys: &System| {
-                let b = max_feasible_batch(sys, model, l_in, l_out, None).max(1);
-                analytic_serve(&SystemExecutor::new(sys.clone(), model), l_in, l_out, n_requests, b).0
-            };
-            cells.push(SpeedupCell {
-                l_in,
-                l_out,
-                speedup: time(&base_sys) / time(&pim_sys),
-            });
+    let cells: Vec<(u64, u64)> = lens
+        .iter()
+        .flat_map(|&l_in| lens.iter().map(move |&l_out| (l_in, l_out)))
+        .collect();
+    SweepRunner::from_env().map(&cells, |&(l_in, l_out)| {
+        let time = |sys: &System| {
+            let b = max_feasible_batch(sys, model, l_in, l_out, None).max(1);
+            analytic_serve(&SystemExecutor::new(sys.clone(), model), l_in, l_out, n_requests, b).0
+        };
+        SpeedupCell {
+            l_in,
+            l_out,
+            speedup: time(&base_sys) / time(&pim_sys),
         }
-    }
-    cells
+    })
 }
 
 /// Renders a grid of cells as a heat-map-style table (rows = L_out

@@ -3,11 +3,13 @@
 use attacc_model::ModelConfig;
 use attacc_pim::{AttAccDevice, GemvPlacement};
 use attacc_xpu::{CpuSystem, GpuSystem, Interconnect};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which platform a [`System`] models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum SystemKind {
     /// DGX A100 (HBM3) with 640 GB — the paper's baseline.
     DgxBase,
@@ -27,7 +29,8 @@ pub enum SystemKind {
 }
 
 /// A complete evaluated platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct System {
     /// Platform variant.
     pub kind: SystemKind,

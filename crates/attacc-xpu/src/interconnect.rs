@@ -1,10 +1,12 @@
 //! Device-to-device interconnect models (NVLink, PCIe, inter-node).
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// A bidirectional interconnect with aggregate bandwidth and per-message
 /// latency.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Interconnect {
     /// Name for reports.
     pub name: String,

@@ -12,11 +12,13 @@
 //! and exposes the collective volume from first principles.
 
 use attacc_model::ModelConfig;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How one weight matrix is split across the tensor-parallel group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum ShardAxis {
     /// Output columns split: no collective needed afterwards, but every
     /// GPU needs the full input.
@@ -27,7 +29,8 @@ pub enum ShardAxis {
 }
 
 /// Shard of one FC matrix on one GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Shard {
     /// Split direction.
     pub axis: ShardAxis,
@@ -69,7 +72,8 @@ impl fmt::Display for ShardingError {
 impl std::error::Error for ShardingError {}
 
 /// The tensor-parallel plan of one decoder.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct DecoderSharding {
     /// Tensor-parallel degree.
     pub ways: u32,

@@ -1,0 +1,64 @@
+//! Property tests for the memoized timing cache.
+//!
+//! The cache must be *transparent*: for any query, the cached path
+//! returns exactly (bitwise) what a fresh recompute returns, and clearing
+//! the cache between queries never changes any result.
+
+use attacc_sim::engine::TimingCache;
+use attacc_sim::{System, SystemExecutor};
+use attacc_serving::StageExecutor;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that clear the process-wide cache.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+fn systems() -> Vec<System> {
+    vec![System::dgx_base(), System::dgx_attacc_full()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_gen_breakdown_is_bitwise_equal_to_recompute(
+        groups in prop::collection::vec((1u64..=64, 16u64..=4096), 1..4),
+        sys_idx in 0usize..2,
+    ) {
+        let _guard = CACHE_LOCK.lock().expect("cache lock");
+        let model = attacc_model::ModelConfig::gpt3_175b();
+        let exec = SystemExecutor::new(systems()[sys_idx].clone(), &model);
+        let cached = exec.gen_stage_detail(&groups);
+        let direct = exec.gen_stage_detail_uncached(&groups);
+        prop_assert_eq!(cached, direct);
+        // A second (guaranteed-hit) lookup returns the same value again.
+        prop_assert_eq!(exec.gen_stage_detail(&groups), direct);
+    }
+
+    #[test]
+    fn cached_sum_cost_is_bitwise_equal_to_recompute(
+        batch in 1u64..=64,
+        l_in in 16u64..=4096,
+        sys_idx in 0usize..2,
+    ) {
+        let _guard = CACHE_LOCK.lock().expect("cache lock");
+        let model = attacc_model::ModelConfig::gpt3_175b();
+        let exec = SystemExecutor::new(systems()[sys_idx].clone(), &model);
+        let cached = exec.sum_stage(batch, l_in);
+        let direct = exec.sum_stage_uncached(batch, l_in);
+        prop_assert_eq!(cached, direct);
+    }
+
+    #[test]
+    fn clearing_the_cache_never_changes_results(
+        groups in prop::collection::vec((1u64..=32, 16u64..=2048), 1..3),
+    ) {
+        let _guard = CACHE_LOCK.lock().expect("cache lock");
+        let model = attacc_model::ModelConfig::gpt3_175b();
+        let exec = SystemExecutor::new(System::dgx_attacc_full(), &model);
+        let warm = exec.gen_stage_detail(&groups);
+        TimingCache::global().clear();
+        let cold = exec.gen_stage_detail(&groups);
+        prop_assert_eq!(warm, cold);
+    }
+}

@@ -1,0 +1,130 @@
+//! Golden-figure regression suite.
+//!
+//! Each test renders one evaluation driver from `attacc-bench` and diffs
+//! the result against a checked-in snapshot under `tests/golden/`. The
+//! snapshots are the same tables recorded in `results_all_tables.txt`, so
+//! any timing-model change that moves a published number fails here with
+//! a line-level diff.
+//!
+//! To regenerate after an intentional model change:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_tables
+//! ```
+
+use attacc_sim::Table;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn render(tables: &[Table]) -> String {
+    let mut out = String::new();
+    for t in tables {
+        // Matches the figure binaries: one blank line between tables.
+        writeln!(out, "{t}").expect("string write cannot fail");
+    }
+    out
+}
+
+/// Diffs `tables` against `tests/golden/<name>.txt`, or rewrites the
+/// snapshot when `BLESS=1` is set.
+fn check(name: &str, tables: &[Table]) {
+    let rendered = render(tables);
+    let path = golden_dir().join(format!("{name}.txt"));
+    if std::env::var("BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &rendered).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}\n\
+             regenerate with `BLESS=1 cargo test --test golden_tables`",
+            path.display()
+        )
+    });
+    if rendered != expected {
+        let diff: String = expected
+            .lines()
+            .zip(rendered.lines())
+            .enumerate()
+            .filter(|(_, (e, r))| e != r)
+            .take(10)
+            .map(|(i, (e, r))| format!("  line {}:\n    golden: {e}\n    actual: {r}\n", i + 1))
+            .collect();
+        panic!(
+            "{name} diverged from golden snapshot {} \
+             (golden {} lines, actual {} lines):\n{diff}\
+             if the change is intentional, re-bless with \
+             `BLESS=1 cargo test --test golden_tables`",
+            path.display(),
+            expected.lines().count(),
+            rendered.lines().count(),
+        );
+    }
+}
+
+#[test]
+fn golden_table1() {
+    check("table1", &[attacc_bench::table1()]);
+}
+
+#[test]
+fn golden_capacity() {
+    check("capacity", &[attacc_bench::capacity_table()]);
+}
+
+#[test]
+fn golden_fig02() {
+    check("fig02", &[attacc_bench::fig02()]);
+}
+
+#[test]
+fn golden_fig03() {
+    check("fig03", &[attacc_bench::fig03()]);
+}
+
+#[test]
+fn golden_fig04() {
+    check("fig04", &attacc_bench::fig04());
+}
+
+#[test]
+fn golden_fig07() {
+    check("fig07", &[attacc_bench::fig07()]);
+}
+
+#[test]
+fn golden_fig13() {
+    check("fig13", &[attacc_bench::fig13(attacc_bench::N_REQUESTS)]);
+}
+
+#[test]
+fn golden_fig14() {
+    check("fig14", &[attacc_bench::fig14()]);
+}
+
+#[test]
+fn golden_fig16() {
+    check("fig16", &[attacc_bench::fig16(attacc_bench::N_REQUESTS)]);
+}
+
+#[test]
+fn golden_area() {
+    check("area", &[attacc_bench::area_table()]);
+}
+
+#[test]
+fn golden_validation() {
+    check("validation", &[attacc_bench::validation_table()]);
+}
+
+#[test]
+fn golden_ablation_gqa() {
+    check("ablation_gqa", &[attacc_bench::ablation_gqa()]);
+}

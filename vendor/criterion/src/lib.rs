@@ -1,0 +1,121 @@
+//! Vendored minimal benchmark harness.
+//!
+//! Covers the slice of the `criterion` 0.5 API the workspace's benches
+//! use: `Criterion::{benchmark_group, bench_function}`, group
+//! `sample_size`/`finish`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros. Each bench warms up once, then runs batches
+//! until a small time budget is spent and reports the mean wall-clock
+//! time per iteration to stdout. No statistics, plots or HTML reports —
+//! point the workspace dependency back at crates.io for those.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also protects against a first-call outlier).
+        std::hint::black_box(routine());
+        let budget = Duration::from_millis(200);
+        let max_iters = self.samples.max(1);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < max_iters && start.elapsed() < budget {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.mean = start.elapsed() / u32::try_from(iters.max(1)).unwrap_or(u32::MAX);
+    }
+}
+
+fn run_one(label: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, mean: Duration::ZERO };
+    f(&mut b);
+    println!("{label:<44} {:>12.3?}/iter", b.mean);
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n as u64;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), samples: 100, _criterion: self }
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, 100, &mut f);
+        self
+    }
+}
+
+/// Collects benchmark functions into a runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_free_function_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        c.bench_function("two", |b| b.iter(|| ran += 1));
+        assert!(ran >= 2, "both benches executed at least warm-up: {ran}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Vendored stand-in for `serde`.
+//!
+//! Exposes the two trait names and (behind the `derive` feature) the
+//! matching no-op derive macros. The simulator's types carry
+//! `#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]` purely
+//! as interchange metadata; nothing in the workspace bounds on the traits,
+//! and the JSON/CSV emitted by `attacc-sim` is rendered by hand. To use
+//! the real serde, point the workspace dependency back at crates.io.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

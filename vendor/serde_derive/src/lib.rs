@@ -1,0 +1,23 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The derives expand to nothing: the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as metadata (no generic code bounds
+//! on the traits), and all JSON emitted by the simulator is hand-rendered.
+//! Keeping the derive macros around lets every `#[cfg_attr(feature =
+//! "serde", derive(...))]` in the tree compile offline; swapping this
+//! crate for the real `serde`/`serde_derive` needs only a change to the
+//! workspace `[workspace.dependencies]` table.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts the input, emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts the input, emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
