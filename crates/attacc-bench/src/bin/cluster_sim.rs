@@ -1,0 +1,12 @@
+//! Prints the multi-node cluster frontier (node count × router policy ×
+//! arrival rate) and the load-shape sensitivity table. Pass `--serial` to
+//! pin the sweep engine to one thread (or set `ATTACC_THREADS`),
+//! `--quiet` to suppress the stderr stats footer.
+fn main() {
+    attacc_bench::harness::run("cluster_sim", || {
+        vec![
+            attacc_bench::cluster_frontier(attacc_bench::CLUSTER_REQUESTS),
+            attacc_bench::cluster_load_shapes(attacc_bench::CLUSTER_REQUESTS),
+        ]
+    });
+}

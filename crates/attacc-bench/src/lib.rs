@@ -11,6 +11,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use attacc_cluster::{
+    simulate_cluster, ClusterConfig, InterconnectModel, RouterPolicy, SloSpec,
+};
 use attacc_model::{DataType, KvCacheSpec, ModelConfig, GIB};
 use attacc_pim::bitwise::{bank_pim_speedup, BankPimModel, BulkBitwiseModel};
 use attacc_pim::{AreaReport, GemvPlacement};
@@ -18,8 +21,9 @@ use attacc_sim::experiment::{
     alternatives_study, batching_study, bitwidth_study, end_to_end, gen_stage_fraction,
     gqa_ablation, placement_study, roofline_rows, slo_study,
 };
+use attacc_serving::{ArrivalWorkload, SchedulerConfig, StageExecutor};
 use attacc_sim::validate::validate_opt66b;
-use attacc_sim::{SweepRunner, System, Table};
+use attacc_sim::{SweepRunner, System, SystemExecutor, Table};
 
 pub mod harness;
 
@@ -546,6 +550,126 @@ pub fn all_tables(n_requests: u64) -> Vec<Table> {
     out.push(time_phase("ablation_scaling", ablation_scaling));
     out.push(time_phase("validation", validation_table));
     out
+}
+
+/// Requests per cluster-simulation cell (kept below [`N_REQUESTS`]: each
+/// cell replays a full discrete-event run, not a steady-state formula).
+pub const CLUSTER_REQUESTS: u64 = 256;
+
+/// The per-node serving configuration of the cluster experiments: a
+/// `DGX+AttAccs` node serving GPT-3 175B, batch capped at 64, KV capacity
+/// set to the HBM left after weights.
+fn cluster_node_config(model: &ModelConfig) -> SchedulerConfig {
+    let spec = KvCacheSpec::of(model);
+    let free = 640 * GIB - model.weight_bytes();
+    SchedulerConfig::with_capacity(64, free, spec.bytes_per_token)
+}
+
+fn cluster_cell(
+    model: &ModelConfig,
+    n_nodes: usize,
+    policy: RouterPolicy,
+    workload: &ArrivalWorkload,
+) -> attacc_cluster::ClusterReport {
+    let execs: Vec<SystemExecutor> =
+        (0..n_nodes).map(|_| SystemExecutor::new(System::dgx_attacc_full(), model)).collect();
+    let refs: Vec<&dyn StageExecutor> = execs.iter().map(|e| e as &dyn StageExecutor).collect();
+    let cfg = ClusterConfig {
+        scheduler: cluster_node_config(model),
+        policy,
+        interconnect: InterconnectModel::ethernet_400g()
+            .with_kv_bytes_per_token(KvCacheSpec::of(model).bytes_per_token),
+        slo: SloSpec::chatbot(),
+    };
+    simulate_cluster(&refs, workload, &cfg)
+}
+
+/// Cluster throughput–latency frontier: node count × router policy ×
+/// arrival rate, GPT-3 175B on `DGX+AttAccs` nodes behind a 400 GbE
+/// front door. Cells are independent and run on the sweep engine.
+#[must_use]
+pub fn cluster_frontier(n_requests: u64) -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let policies = [
+        RouterPolicy::RoundRobin,
+        RouterPolicy::JoinShortestQueue,
+        RouterPolicy::LeastKvBytes,
+        RouterPolicy::SessionAffinity { spill_backlog: 4 },
+    ];
+    let nodes = [1usize, 2, 4];
+    let rates = [4.0f64, 16.0, 64.0];
+    let mut cells: Vec<(usize, RouterPolicy, f64)> = Vec::new();
+    for &n_nodes in &nodes {
+        for &policy in &policies {
+            for &rate in &rates {
+                cells.push((n_nodes, policy, rate));
+            }
+        }
+    }
+    let reports = SweepRunner::from_env().map(&cells, |&(n_nodes, policy, rate)| {
+        let w = ArrivalWorkload::poisson(n_requests, rate, 512, (64, 128), 42);
+        cluster_cell(&model, n_nodes, policy, &w)
+    });
+    let mut t = Table::new(
+        format!("Cluster frontier: GPT-3 175B on DGX+AttAccs nodes, {n_requests} requests"),
+        &[
+            "nodes",
+            "policy",
+            "rate/s",
+            "tokens/s",
+            "goodput tok/s",
+            "TTFT p50 (ms)",
+            "TTFT p99 (ms)",
+            "TTFT p99.9 (ms)",
+            "TBT p99 (ms)",
+            "util %",
+        ],
+    );
+    for (&(n_nodes, policy, rate), r) in cells.iter().zip(&reports) {
+        t.push_row(vec![
+            n_nodes.to_string(),
+            policy.name().into(),
+            n(rate),
+            n(r.tokens_per_s),
+            n(r.goodput.goodput_tokens_per_s),
+            n(r.ttft.p50_s * 1e3),
+            n(r.ttft.p99_s * 1e3),
+            n(r.ttft.p999_s * 1e3),
+            n(r.tbt.p99_s * 1e3),
+            n(r.mean_utilization() * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Load-shape sensitivity: the same 2-node join-shortest-queue cluster
+/// under Poisson, bursty and diurnal arrivals of equal mean rate.
+#[must_use]
+pub fn cluster_load_shapes(n_requests: u64) -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let shapes: Vec<(&str, ArrivalWorkload)> = vec![
+        ("poisson", ArrivalWorkload::poisson(n_requests, 16.0, 512, (64, 128), 42)),
+        ("bursty", ArrivalWorkload::bursty(n_requests, 16.0, 4.0, 4.0, 0.25, 512, (64, 128), 42)),
+        ("diurnal", ArrivalWorkload::diurnal(n_requests, 16.0, 0.8, 8.0, 512, (64, 128), 42)),
+    ];
+    let reports = SweepRunner::from_env().map(&shapes, |(_, w)| {
+        cluster_cell(&model, 2, RouterPolicy::JoinShortestQueue, w)
+    });
+    let mut t = Table::new(
+        format!("Cluster load shapes: 2 nodes, join-shortest-queue, {n_requests} requests"),
+        &["shape", "completed", "tokens/s", "TTFT p99 (ms)", "TBT p99 (ms)", "goodput tok/s"],
+    );
+    for ((name, _), r) in shapes.iter().zip(&reports) {
+        t.push_row(vec![
+            (*name).into(),
+            r.completed.to_string(),
+            n(r.tokens_per_s),
+            n(r.ttft.p99_s * 1e3),
+            n(r.tbt.p99_s * 1e3),
+            n(r.goodput.goodput_tokens_per_s),
+        ]);
+    }
+    t
 }
 
 /// INT8 helper used by docs to show the quantized model family exists.

@@ -1,0 +1,328 @@
+//! The per-node serving engine: one AttAcc/GPU box behind the router.
+//!
+//! A node wraps an `attacc-serving` iteration-level scheduler around a
+//! [`StageExecutor`] (an `attacc-sim` platform in production, a toy in
+//! tests) and exposes a *round* primitive to the event loop: given the
+//! virtual time at which the node wakes, run one admission + Sum + Gen
+//! round and report when it finishes.
+//!
+//! The round body is a line-for-line mirror of
+//! [`attacc_serving::simulate_open_loop`]'s loop body — same admission
+//! order, same KV-reservation arithmetic, same floating-point accumulation
+//! order — which is what makes a 1-node cluster behind a pass-through
+//! router reproduce the single-node report *bit-exactly* (pinned by
+//! `tests/cluster_equivalence.rs` at the workspace root).
+
+use attacc_model::{Request, RequestState, SequenceStatus};
+use attacc_serving::{SchedulerConfig, StageExecutor};
+use std::collections::VecDeque;
+
+/// What a [`NodeEngine::run_round`] call did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundOutcome {
+    /// Virtual time the round finished (equals the wake time when the
+    /// round did nothing).
+    pub end_s: f64,
+    /// Whether the round admitted or generated anything.
+    pub worked: bool,
+    /// Whether the node abandoned its queue this round (head request can
+    /// never fit the KV capacity — the open-loop livelock guard).
+    pub abandoned: bool,
+}
+
+/// One serving node: executor, scheduler state, and local metrics.
+pub struct NodeEngine<'a> {
+    executor: &'a dyn StageExecutor,
+    cfg: SchedulerConfig,
+    /// `(front-door arrival time, request)` in delivery order.
+    queued: VecDeque<(f64, Request)>,
+    /// `(front-door arrival time, state)` for admitted requests.
+    active: Vec<(f64, RequestState)>,
+    reserved_tokens: u64,
+    /// `final_len` of everything queued or active — the committed-KV
+    /// figure the router's `LeastKvBytes` policy balances on.
+    pledged_tokens: u64,
+    // ---- metrics ----
+    pub(crate) energy_j: f64,
+    pub(crate) tokens: u64,
+    pub(crate) completed: u64,
+    pub(crate) abandoned: u64,
+    pub(crate) busy_s: f64,
+    pub(crate) ttft: Vec<f64>,
+    /// Output-token count of each request whose TTFT was recorded, in the
+    /// same order as `ttft` (for SLO goodput accounting).
+    pub(crate) ttft_tokens: Vec<u64>,
+    pub(crate) tbt: Vec<f64>,
+    pub(crate) queue_wait: Vec<f64>,
+    /// `(time, reserved KV tokens)` at every reservation change.
+    pub(crate) kv_timeline: Vec<(f64, u64)>,
+    /// Time-weighted integral of reserved tokens (token·seconds).
+    kv_area: f64,
+    last_kv_change_s: f64,
+}
+
+impl<'a> NodeEngine<'a> {
+    /// A fresh node over `executor` under `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg.max_batch` is zero.
+    #[must_use]
+    pub fn new(executor: &'a dyn StageExecutor, cfg: SchedulerConfig) -> NodeEngine<'a> {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        NodeEngine {
+            executor,
+            cfg,
+            queued: VecDeque::new(),
+            active: Vec::new(),
+            reserved_tokens: 0,
+            pledged_tokens: 0,
+            energy_j: 0.0,
+            tokens: 0,
+            completed: 0,
+            abandoned: 0,
+            busy_s: 0.0,
+            ttft: Vec::new(),
+            ttft_tokens: Vec::new(),
+            tbt: Vec::new(),
+            queue_wait: Vec::new(),
+            kv_timeline: vec![(0.0, 0)],
+            kv_area: 0.0,
+            last_kv_change_s: 0.0,
+        }
+    }
+
+    /// Queues a delivered request (front-door arrival time `arrival_s`).
+    pub fn deliver(&mut self, arrival_s: f64, request: Request) {
+        self.pledged_tokens += request.final_len();
+        self.queued.push_back((arrival_s, request));
+    }
+
+    /// Requests waiting for admission.
+    #[must_use]
+    pub fn queued_len(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Requests currently being served.
+    #[must_use]
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether the node has nothing queued and nothing in flight.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.queued.is_empty() && self.active.is_empty()
+    }
+
+    /// KV tokens currently reserved by admitted requests.
+    #[must_use]
+    pub fn reserved_tokens(&self) -> u64 {
+        self.reserved_tokens
+    }
+
+    /// `final_len` of everything queued or active on this node.
+    #[must_use]
+    pub fn pledged_tokens(&self) -> u64 {
+        self.pledged_tokens
+    }
+
+    fn record_kv(&mut self, now: f64) {
+        let prev = self.kv_timeline.last().map_or(0, |&(_, v)| v);
+        self.kv_area += prev as f64 * (now - self.last_kv_change_s);
+        self.last_kv_change_s = now;
+        self.kv_timeline.push((now, self.reserved_tokens));
+    }
+
+    /// Closes the KV-occupancy integral at `end_s` and returns
+    /// `(peak tokens, time-weighted mean tokens)`.
+    pub(crate) fn finish_kv(&mut self, end_s: f64) -> (u64, f64) {
+        let prev = self.kv_timeline.last().map_or(0, |&(_, v)| v);
+        self.kv_area += prev as f64 * (end_s - self.last_kv_change_s);
+        self.last_kv_change_s = end_s;
+        let peak = self.kv_timeline.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        let mean = if end_s > 0.0 { self.kv_area / end_s } else { 0.0 };
+        (peak, mean)
+    }
+
+    /// Runs one scheduling round starting at `now`: admit as many queued
+    /// requests as batch and KV capacity allow, prefill the admissions,
+    /// run one Gen iteration, retire finished requests.
+    pub fn run_round(&mut self, now: f64) -> RoundOutcome {
+        let start = now;
+        let mut now = now;
+
+        let fits = |reserved: u64, cfg: &SchedulerConfig, req: &Request| -> bool {
+            if cfg.kv_bytes_per_token == 0 {
+                return true;
+            }
+            let need = (reserved + req.final_len()) as u128 * cfg.kv_bytes_per_token as u128;
+            need <= cfg.kv_capacity_bytes as u128
+        };
+
+        // Admit (FCFS in delivery order, head-blocking on capacity —
+        // exactly simulate_open_loop's admission loop).
+        let mut admitted: Vec<(u64, u64)> = Vec::new();
+        let mut kv_changed = false;
+        while (self.active.len() as u64) < self.cfg.max_batch {
+            let Some(&(arrival, req)) = self.queued.front() else { break };
+            if !fits(self.reserved_tokens, &self.cfg, &req) {
+                break;
+            }
+            self.queued.pop_front();
+            self.reserved_tokens += req.final_len();
+            kv_changed = true;
+            self.queue_wait.push(now - arrival);
+            self.active.push((arrival, RequestState::admitted(req)));
+            match admitted.iter_mut().find(|(_, l)| *l == req.l_in) {
+                Some((c, _)) => *c += 1,
+                None => admitted.push((1, req.l_in)),
+            }
+        }
+        if kv_changed {
+            self.record_kv(now);
+        }
+
+        // Prefill the admissions.
+        for &(c, l_in) in &admitted {
+            let cost = self.executor.sum_stage(c, l_in);
+            now += cost.latency_s;
+            self.energy_j += cost.energy_j;
+        }
+        for (arrival, s) in
+            self.active.iter_mut().filter(|(_, s)| s.status == SequenceStatus::NeedsSum)
+        {
+            self.tokens += 1;
+            self.ttft.push(now - *arrival);
+            self.ttft_tokens.push(s.request.l_out);
+            let _ = s.complete_stage();
+        }
+
+        // One Gen iteration.
+        let mut groups: Vec<(u64, u64)> = Vec::new();
+        for (_, s) in self.active.iter().filter(|(_, s)| s.status == SequenceStatus::Generating) {
+            let l = s.context_len() + 1;
+            match groups.iter_mut().find(|(_, gl)| *gl == l) {
+                Some((c, _)) => *c += 1,
+                None => groups.push((1, l)),
+            }
+        }
+        if !groups.is_empty() {
+            let cost = self.executor.gen_stage(&groups);
+            now += cost.latency_s;
+            self.energy_j += cost.energy_j;
+            self.tbt.push(cost.latency_s);
+            for (_, s) in
+                self.active.iter_mut().filter(|(_, s)| s.status == SequenceStatus::Generating)
+            {
+                self.tokens += 1;
+                let _ = s.complete_stage();
+            }
+        }
+
+        // Retire.
+        let mut retired = false;
+        let (reserved, completed, pledged) =
+            (&mut self.reserved_tokens, &mut self.completed, &mut self.pledged_tokens);
+        self.active.retain(|(_, s)| {
+            if s.status == SequenceStatus::Finished {
+                *reserved -= s.request.final_len();
+                *pledged -= s.request.final_len();
+                *completed += 1;
+                retired = true;
+                false
+            } else {
+                true
+            }
+        });
+        if retired {
+            self.record_kv(now);
+        }
+
+        let worked = !groups.is_empty() || !admitted.is_empty();
+        let mut abandoned = false;
+        if !worked && self.active.is_empty() && !self.queued.is_empty() {
+            // The queue head can never fit: abandon the queue to avoid
+            // livelock (the open-loop simulator's break).
+            self.abandoned += self.queued.len() as u64;
+            self.pledged_tokens -= self.queued.iter().map(|(_, r)| r.final_len()).sum::<u64>();
+            self.queued.clear();
+            abandoned = true;
+        }
+        if worked {
+            self.busy_s += now - start;
+        }
+        RoundOutcome { end_s: now, worked, abandoned }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attacc_serving::StageCost;
+
+    struct Toy;
+    impl StageExecutor for Toy {
+        fn sum_stage(&self, b: u64, _l: u64) -> StageCost {
+            StageCost { latency_s: 2e-3 * b as f64, energy_j: 1.0 }
+        }
+        fn gen_stage(&self, groups: &[(u64, u64)]) -> StageCost {
+            let n: u64 = groups.iter().map(|g| g.0).sum();
+            StageCost { latency_s: 1e-3 + 1e-5 * n as f64, energy_j: 0.01 * n as f64 }
+        }
+    }
+
+    #[test]
+    fn round_drains_one_request() {
+        let mut node = NodeEngine::new(&Toy, SchedulerConfig::unlimited(4));
+        node.deliver(0.0, Request::new(0, 16, 3));
+        let mut t = 0.0;
+        let mut rounds = 0;
+        while !node.is_drained() {
+            let out = node.run_round(t);
+            assert!(out.worked);
+            t = out.end_s;
+            rounds += 1;
+        }
+        // Round 1: Sum emits token 1 and the same round's Gen emits
+        // token 2; round 2's Gen emits token 3 and retires.
+        assert_eq!(rounds, 2);
+        assert_eq!(node.tokens, 3);
+        assert_eq!(node.completed, 1);
+        assert_eq!(node.ttft.len(), 1);
+        assert_eq!(node.tbt.len(), 2);
+        assert!(node.busy_s > 0.0);
+        assert_eq!(node.reserved_tokens(), 0);
+    }
+
+    #[test]
+    fn impossible_head_abandons_queue() {
+        let cfg = SchedulerConfig::with_capacity(4, 10, 100); // nothing fits
+        let mut node = NodeEngine::new(&Toy, cfg);
+        node.deliver(0.0, Request::new(0, 4, 4));
+        node.deliver(0.0, Request::new(1, 4, 4));
+        let out = node.run_round(0.0);
+        assert!(!out.worked && out.abandoned);
+        assert_eq!(node.abandoned, 2);
+        assert!(node.is_drained());
+    }
+
+    #[test]
+    fn kv_timeline_tracks_reservations() {
+        let cfg = SchedulerConfig::with_capacity(8, u64::MAX, 1);
+        let mut node = NodeEngine::new(&Toy, cfg);
+        node.deliver(0.0, Request::new(0, 8, 2));
+        let mut t = 0.0;
+        while !node.is_drained() {
+            t = node.run_round(t).end_s;
+        }
+        let (peak, mean) = node.finish_kv(t);
+        assert_eq!(peak, 10, "final_len = l_in + l_out reserved up front");
+        // Reserved at t=0, released at the very end: mean equals peak.
+        assert!(mean > 0.0 && mean <= 10.0);
+        // Timeline: initial 0, reservation to 10, release to 0.
+        assert_eq!(node.kv_timeline.first().unwrap().1, 0);
+        assert!(node.kv_timeline.iter().any(|&(_, v)| v == 10));
+        assert_eq!(node.kv_timeline.last().unwrap().1, 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Front-door request routing across nodes.
+//!
+//! The router sees every arrival in time order and picks a destination
+//! from a deterministic snapshot of cluster load: per-node backlog
+//! (in-flight + queued + active requests) and committed KV footprint
+//! (tokens pledged by every request routed to the node and not yet
+//! retired). Ties always break toward the lowest node index, so routing
+//! is a pure function of the arrival sequence — no randomness, no clock.
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// Which node an arriving request is dispatched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum RouterPolicy {
+    /// Everything to node 0 — the single-node equivalence configuration;
+    /// bypasses the interconnect entirely.
+    PassThrough,
+    /// Cycle through nodes in arrival order.
+    #[default]
+    RoundRobin,
+    /// Fewest outstanding requests (in-flight + queued + active).
+    JoinShortestQueue,
+    /// Smallest committed KV footprint in tokens — KV-aware placement:
+    /// long-context requests spread by *bytes*, not request count.
+    LeastKvBytes,
+    /// Requests hash to a home node by id (sticky sessions keep their KV
+    /// cache local). When the home node's backlog exceeds
+    /// `spill_backlog`, the request spills to the shortest queue and pays
+    /// a KV-migration transfer for its `l_in`-token cached prefix.
+    SessionAffinity {
+        /// Backlog above which the home node is considered overloaded and
+        /// the session spills.
+        spill_backlog: u64,
+    },
+}
+
+impl RouterPolicy {
+    /// Human-readable policy name for tables and reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterPolicy::PassThrough => "pass-through",
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::JoinShortestQueue => "join-shortest-queue",
+            RouterPolicy::LeastKvBytes => "least-kv-bytes",
+            RouterPolicy::SessionAffinity { .. } => "session-affinity",
+        }
+    }
+}
+
+/// One node's load as the router sees it at an arrival instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeLoad {
+    /// Outstanding requests: in flight to the node + queued + active.
+    pub backlog: u64,
+    /// Committed KV tokens: `final_len` of everything routed to the node
+    /// and not yet retired or abandoned.
+    pub kv_tokens: u64,
+}
+
+/// The routing decision for one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Destination node.
+    pub node: usize,
+    /// Whether the request moved away from its session's home node and
+    /// must pay a KV-migration transfer (session-affinity spill only).
+    pub migrated: bool,
+}
+
+/// Router state: the policy plus its round-robin cursor.
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RouterPolicy,
+    rr_next: usize,
+}
+
+/// SplitMix64: a fixed, platform-independent avalanche hash so session
+/// placement never depends on `DefaultHasher` internals.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn argmin_by<F: Fn(&NodeLoad) -> u64>(loads: &[NodeLoad], key: F) -> usize {
+    let mut best = 0usize;
+    for (i, load) in loads.iter().enumerate().skip(1) {
+        if key(load) < key(&loads[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+impl Router {
+    /// A router with the given policy.
+    #[must_use]
+    pub fn new(policy: RouterPolicy) -> Router {
+        Router { policy, rr_next: 0 }
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// Picks a destination for request `id` given the per-node `loads`.
+    ///
+    /// # Panics
+    /// Panics if `loads` is empty.
+    pub fn route(&mut self, id: u64, loads: &[NodeLoad]) -> RouteDecision {
+        assert!(!loads.is_empty(), "cluster needs at least one node");
+        let n = loads.len();
+        match self.policy {
+            RouterPolicy::PassThrough => RouteDecision { node: 0, migrated: false },
+            RouterPolicy::RoundRobin => {
+                let node = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % n;
+                RouteDecision { node, migrated: false }
+            }
+            RouterPolicy::JoinShortestQueue => {
+                RouteDecision { node: argmin_by(loads, |l| l.backlog), migrated: false }
+            }
+            RouterPolicy::LeastKvBytes => {
+                RouteDecision { node: argmin_by(loads, |l| l.kv_tokens), migrated: false }
+            }
+            RouterPolicy::SessionAffinity { spill_backlog } => {
+                let home = usize::try_from(splitmix64(id) % n as u64).expect("node fits usize");
+                if loads[home].backlog > spill_backlog {
+                    let node = argmin_by(loads, |l| l.backlog);
+                    RouteDecision { node, migrated: node != home }
+                } else {
+                    RouteDecision { node: home, migrated: false }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(backlogs: &[u64]) -> Vec<NodeLoad> {
+        backlogs.iter().map(|&b| NodeLoad { backlog: b, kv_tokens: b * 100 }).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = Router::new(RouterPolicy::RoundRobin);
+        let view = loads(&[0, 0, 0]);
+        let picks: Vec<usize> = (0..6).map(|i| r.route(i, &view).node).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn jsq_prefers_emptiest_and_ties_break_low() {
+        let mut r = Router::new(RouterPolicy::JoinShortestQueue);
+        assert_eq!(r.route(0, &loads(&[2, 2, 2])).node, 0, "ties break low");
+        assert_eq!(r.route(1, &loads(&[2, 1, 2])).node, 1);
+        assert_eq!(r.route(2, &loads(&[2, 1, 0])).node, 2);
+    }
+
+    #[test]
+    fn least_kv_spreads_by_tokens_not_count() {
+        let mut r = Router::new(RouterPolicy::LeastKvBytes);
+        // Node 0 holds one giant context, node 1 many small ones: the
+        // KV-aware policy picks by bytes, JSQ would pick by count.
+        let view = vec![
+            NodeLoad { backlog: 1, kv_tokens: 20_000 },
+            NodeLoad { backlog: 5, kv_tokens: 500 },
+        ];
+        assert_eq!(r.route(0, &view).node, 1);
+        let mut jsq = Router::new(RouterPolicy::JoinShortestQueue);
+        assert_eq!(jsq.route(0, &view).node, 0);
+    }
+
+    #[test]
+    fn affinity_is_sticky_until_spill() {
+        let mut r = Router::new(RouterPolicy::SessionAffinity { spill_backlog: 2 });
+        let idle = loads(&[0, 0, 0, 0]);
+        let home = r.route(42, &idle).node;
+        assert_eq!(r.route(42, &idle).node, home, "same id → same node");
+        // Overload the home node: the session spills and pays migration.
+        let mut hot = loads(&[0, 0, 0, 0]);
+        hot[home].backlog = 3;
+        let spilled = r.route(42, &hot);
+        assert_ne!(spilled.node, home);
+        assert!(spilled.migrated);
+        assert!(!r.route(42, &idle).migrated, "calm again → home, no migration");
+    }
+
+    #[test]
+    fn pass_through_always_node_zero() {
+        let mut r = Router::new(RouterPolicy::PassThrough);
+        let view = loads(&[9, 0]);
+        assert!((0..10).all(|i| r.route(i, &view).node == 0));
+    }
+
+    #[test]
+    fn splitmix_spreads_sessions() {
+        // 256 consecutive ids over 8 nodes: every node gets some sessions.
+        let mut seen = [false; 8];
+        for id in 0..256u64 {
+            seen[usize::try_from(splitmix64(id) % 8).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,321 @@
+//! The cluster simulation driver: event loop + router + nodes.
+//!
+//! [`simulate_cluster`] replays an [`ArrivalWorkload`] through a
+//! front-door [`Router`] onto N [`NodeEngine`]s over a shared
+//! [`InterconnectModel`], advancing a virtual clock through a
+//! deterministic [`EventQueue`]. The run is strictly serial — parallelism
+//! lives one level up, in the `attacc-sim` sweep runner fanning out over
+//! independent (nodes, policy, rate) cells — so the same seed produces a
+//! byte-identical [`ClusterReport`] at any thread count and with a cold or
+//! warm timing cache.
+
+use crate::event::{EventKind, EventQueue};
+use crate::interconnect::InterconnectModel;
+use crate::node::NodeEngine;
+use crate::report::{ClusterReport, GoodputReport, NodeReport, SloSpec};
+use crate::router::{NodeLoad, Router, RouterPolicy};
+use attacc_serving::{ArrivalWorkload, LatencyStats, SchedulerConfig, StageExecutor};
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// Everything a cluster run needs besides executors and a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ClusterConfig {
+    /// Per-node scheduler limits (batch cap, KV capacity).
+    pub scheduler: SchedulerConfig,
+    /// Front-door routing policy.
+    pub policy: RouterPolicy,
+    /// Prompt-shipping / KV-migration cost model.
+    pub interconnect: InterconnectModel,
+    /// Latency SLO for goodput accounting.
+    pub slo: SloSpec,
+}
+
+impl ClusterConfig {
+    /// The equivalence configuration: pass-through routing over an ideal
+    /// interconnect — a 1-node cluster under this config reproduces
+    /// [`attacc_serving::simulate_open_loop`] bit-for-bit.
+    #[must_use]
+    pub fn pass_through(scheduler: SchedulerConfig) -> ClusterConfig {
+        ClusterConfig {
+            scheduler,
+            policy: RouterPolicy::PassThrough,
+            interconnect: InterconnectModel::ideal(),
+            slo: SloSpec::chatbot(),
+        }
+    }
+}
+
+/// Runs `workload` through a cluster of one node per executor in `nodes`.
+///
+/// Every request is routed at its arrival instant from a deterministic
+/// load snapshot, pays the interconnect's prompt-shipping delay (plus a
+/// KV-migration delay when a session-affinity spill moves its cached
+/// prefix), then queues at its node, which serves rounds of the
+/// iteration-level scheduler until drained.
+///
+/// # Panics
+/// Panics if `nodes` is empty or `cfg.scheduler.max_batch` is zero.
+#[must_use]
+pub fn simulate_cluster(
+    nodes: &[&dyn StageExecutor],
+    workload: &ArrivalWorkload,
+    cfg: &ClusterConfig,
+) -> ClusterReport {
+    assert!(!nodes.is_empty(), "cluster needs at least one node");
+    let n = nodes.len();
+    let mut engines: Vec<NodeEngine> =
+        nodes.iter().map(|e| NodeEngine::new(*e, cfg.scheduler)).collect();
+    let mut router = Router::new(cfg.policy);
+
+    // Requests routed but not yet delivered, per node — part of the load
+    // snapshot so a burst routed within one transfer window still spreads.
+    let mut in_flight = vec![0u64; n];
+    let mut in_flight_tokens = vec![0u64; n];
+    // Whether a NodeReady event is pending for each node (at most one).
+    let mut ready_scheduled = vec![false; n];
+    // End of each node's last round. A delivery landing mid-round — even
+    // one that arrives after the round drained the node — must not start
+    // a new round before this horizon: the single-node scheduler's clock
+    // never rewinds within a busy stretch, and equivalence requires the
+    // same here.
+    let mut busy_until = vec![0.0f64; n];
+
+    let mut q = EventQueue::new();
+    for &(t, request) in &workload.arrivals {
+        q.push(t, EventKind::Arrival { request });
+    }
+
+    let mut makespan = 0.0f64;
+    while let Some(ev) = q.pop() {
+        makespan = makespan.max(ev.time_s);
+        match ev.kind {
+            EventKind::Arrival { request } => {
+                let loads: Vec<NodeLoad> = (0..n)
+                    .map(|i| NodeLoad {
+                        backlog: in_flight[i]
+                            + engines[i].queued_len() as u64
+                            + engines[i].active_len() as u64,
+                        kv_tokens: in_flight_tokens[i] + engines[i].pledged_tokens(),
+                    })
+                    .collect();
+                let decision = router.route(request.id, &loads);
+                // Pass-through bypasses the front-door link entirely: the
+                // request is already "at" the single node.
+                let delay = if cfg.policy == RouterPolicy::PassThrough {
+                    0.0
+                } else {
+                    let mut d = cfg.interconnect.ship_prompt_s(request.l_in);
+                    if decision.migrated {
+                        d += cfg.interconnect.migrate_kv_s(request.l_in);
+                    }
+                    d
+                };
+                in_flight[decision.node] += 1;
+                in_flight_tokens[decision.node] += request.final_len();
+                q.push(
+                    ev.time_s + delay,
+                    EventKind::Deliver { node: decision.node, arrival_s: ev.time_s, request },
+                );
+            }
+            EventKind::Deliver { node, arrival_s, request } => {
+                in_flight[node] -= 1;
+                in_flight_tokens[node] -= request.final_len();
+                engines[node].deliver(arrival_s, request);
+                if !ready_scheduled[node] {
+                    ready_scheduled[node] = true;
+                    q.push(ev.time_s.max(busy_until[node]), EventKind::NodeReady { node });
+                }
+            }
+            EventKind::NodeReady { node } => {
+                ready_scheduled[node] = false;
+                if engines[node].is_drained() {
+                    continue;
+                }
+                let out = engines[node].run_round(ev.time_s);
+                busy_until[node] = out.end_s;
+                makespan = makespan.max(out.end_s);
+                if !engines[node].is_drained() {
+                    ready_scheduled[node] = true;
+                    q.push(out.end_s, EventKind::NodeReady { node });
+                }
+            }
+        }
+    }
+
+    // Aggregate in node order so the 1-node projection is the identity.
+    let mut ttft = Vec::new();
+    let mut ttft_tokens = Vec::new();
+    let mut tbt = Vec::new();
+    let mut queue_wait = Vec::new();
+    let mut energy = 0.0f64;
+    let mut tokens = 0u64;
+    let mut completed = 0u64;
+    let mut abandoned = 0u64;
+    for e in &engines {
+        ttft.extend_from_slice(&e.ttft);
+        ttft_tokens.extend_from_slice(&e.ttft_tokens);
+        tbt.extend_from_slice(&e.tbt);
+        queue_wait.extend_from_slice(&e.queue_wait);
+        energy += e.energy_j;
+        tokens += e.tokens;
+        completed += e.completed;
+        abandoned += e.abandoned;
+    }
+
+    let tbt_stats = LatencyStats::from_samples(tbt);
+    let mut requests_in_slo = 0u64;
+    let mut goodput_tokens = 0u64;
+    for (t, &l_out) in ttft.iter().zip(&ttft_tokens) {
+        if *t <= cfg.slo.ttft_s {
+            requests_in_slo += 1;
+            goodput_tokens += l_out;
+        }
+    }
+    let goodput = GoodputReport {
+        requests_in_slo,
+        goodput_tokens_per_s: if makespan > 0.0 { goodput_tokens as f64 / makespan } else { 0.0 },
+        tbt_p99_in_slo: tbt_stats.p99_s <= cfg.slo.tbt_s,
+    };
+
+    let node_reports: Vec<NodeReport> = engines
+        .iter_mut()
+        .enumerate()
+        .map(|(i, e)| {
+            let (peak, mean) = e.finish_kv(makespan);
+            NodeReport {
+                node: i,
+                completed: e.completed,
+                abandoned: e.abandoned,
+                tokens: e.tokens,
+                busy_s: e.busy_s,
+                utilization: if makespan > 0.0 { e.busy_s / makespan } else { 0.0 },
+                energy_j: e.energy_j,
+                peak_kv_tokens: peak,
+                mean_kv_tokens: mean,
+                kv_timeline: e.kv_timeline.clone(),
+            }
+        })
+        .collect();
+
+    ClusterReport {
+        policy: cfg.policy.name().to_string(),
+        completed,
+        abandoned,
+        makespan_s: makespan,
+        energy_j: energy,
+        tokens_per_s: if makespan > 0.0 { tokens as f64 / makespan } else { 0.0 },
+        ttft: LatencyStats::from_samples(ttft),
+        tbt: tbt_stats,
+        queue_wait: LatencyStats::from_samples(queue_wait),
+        goodput,
+        nodes: node_reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attacc_serving::StageCost;
+
+    struct Toy;
+    impl StageExecutor for Toy {
+        fn sum_stage(&self, b: u64, l: u64) -> StageCost {
+            StageCost { latency_s: 1e-6 * (b * l) as f64, energy_j: 0.1 * b as f64 }
+        }
+        fn gen_stage(&self, groups: &[(u64, u64)]) -> StageCost {
+            let n: u64 = groups.iter().map(|g| g.0).sum();
+            StageCost { latency_s: 5e-4 + 1e-6 * n as f64, energy_j: 0.01 * n as f64 }
+        }
+    }
+
+    fn workload() -> ArrivalWorkload {
+        ArrivalWorkload::poisson(40, 50.0, 64, (4, 12), 7)
+    }
+
+    #[test]
+    fn all_requests_complete_across_policies() {
+        let w = workload();
+        for policy in [
+            RouterPolicy::PassThrough,
+            RouterPolicy::RoundRobin,
+            RouterPolicy::JoinShortestQueue,
+            RouterPolicy::LeastKvBytes,
+            RouterPolicy::SessionAffinity { spill_backlog: 2 },
+        ] {
+            let cfg = ClusterConfig {
+                policy,
+                ..ClusterConfig::pass_through(SchedulerConfig::unlimited(8))
+            };
+            let r = simulate_cluster(&[&Toy, &Toy, &Toy], &w, &cfg);
+            assert_eq!(r.completed, 40, "policy {}", policy.name());
+            assert_eq!(r.abandoned, 0);
+            assert!(r.makespan_s > 0.0 && r.tokens_per_s > 0.0);
+            assert_eq!(r.nodes.len(), 3);
+            let node_total: u64 = r.nodes.iter().map(|nr| nr.completed).sum();
+            assert_eq!(node_total, 40);
+        }
+    }
+
+    #[test]
+    fn same_inputs_same_report() {
+        let w = workload();
+        let cfg = ClusterConfig {
+            policy: RouterPolicy::JoinShortestQueue,
+            interconnect: InterconnectModel::ethernet_400g().with_kv_bytes_per_token(1 << 10),
+            ..ClusterConfig::pass_through(SchedulerConfig::unlimited(4))
+        };
+        let a = simulate_cluster(&[&Toy, &Toy], &w, &cfg);
+        let b = simulate_cluster(&[&Toy, &Toy], &w, &cfg);
+        assert_eq!(a, b, "the cluster simulation is a pure function of its inputs");
+    }
+
+    #[test]
+    fn more_nodes_never_slower() {
+        let w = ArrivalWorkload::poisson(60, 400.0, 128, (8, 16), 11);
+        let cfg = ClusterConfig {
+            policy: RouterPolicy::RoundRobin,
+            ..ClusterConfig::pass_through(SchedulerConfig::unlimited(2))
+        };
+        let one = simulate_cluster(&[&Toy], &w, &cfg);
+        let four = simulate_cluster(&[&Toy, &Toy, &Toy, &Toy], &w, &cfg);
+        assert_eq!(one.completed, 60);
+        assert_eq!(four.completed, 60);
+        assert!(four.makespan_s <= one.makespan_s + 1e-12);
+        assert!(four.ttft.p99_s <= one.ttft.p99_s + 1e-12);
+    }
+
+    #[test]
+    fn interconnect_delay_shows_up_in_ttft() {
+        let w = workload();
+        let free = ClusterConfig {
+            policy: RouterPolicy::RoundRobin,
+            ..ClusterConfig::pass_through(SchedulerConfig::unlimited(8))
+        };
+        let slow = ClusterConfig {
+            interconnect: InterconnectModel {
+                link_bw_bytes_per_s: 1e6,
+                base_latency_s: 5e-3,
+                prompt_bytes_per_token: 1024,
+                kv_bytes_per_token: 0,
+            },
+            ..free
+        };
+        let fast = simulate_cluster(&[&Toy, &Toy], &w, &free);
+        let laggy = simulate_cluster(&[&Toy, &Toy], &w, &slow);
+        assert!(laggy.ttft.mean_s > fast.ttft.mean_s, "shipping delay must reach TTFT");
+    }
+
+    #[test]
+    fn capacity_pressure_abandons_infeasible_heads() {
+        // KV capacity of 10 tokens: l_in 64 never fits anywhere.
+        let cfg = ClusterConfig {
+            policy: RouterPolicy::JoinShortestQueue,
+            ..ClusterConfig::pass_through(SchedulerConfig::with_capacity(8, 10, 1))
+        };
+        let r = simulate_cluster(&[&Toy, &Toy], &workload(), &cfg);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.abandoned, 40);
+    }
+}

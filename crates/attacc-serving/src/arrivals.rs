@@ -82,12 +82,18 @@ pub struct LatencyStats {
     pub p95_s: f64,
     /// 99th percentile (s).
     pub p99_s: f64,
+    /// 99.9th percentile (s) — the tail the cluster report watches.
+    pub p999_s: f64,
     /// Maximum (s).
     pub max_s: f64,
 }
 
 impl LatencyStats {
     /// Computes stats from a sample (empty samples give all-zero stats).
+    ///
+    /// Percentiles use the nearest-rank definition: the p-th percentile of
+    /// n sorted samples is sample `ceil(n·p)` (1-based), so p50 of 100
+    /// samples is the 50th, not the 51st.
     #[must_use]
     pub fn from_samples(mut samples: Vec<f64>) -> LatencyStats {
         if samples.is_empty() {
@@ -95,12 +101,16 @@ impl LatencyStats {
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         let n = samples.len();
-        let pct = |p: f64| samples[((n as f64 * p) as usize).min(n - 1)];
+        let pct = |p: f64| {
+            let rank = (n as f64 * p).ceil() as usize;
+            samples[rank.saturating_sub(1).min(n - 1)]
+        };
         LatencyStats {
             mean_s: samples.iter().sum::<f64>() / n as f64,
             p50_s: pct(0.50),
             p95_s: pct(0.95),
             p99_s: pct(0.99),
+            p999_s: pct(0.999),
             max_s: samples[n - 1],
         }
     }
@@ -312,9 +322,24 @@ mod tests {
     #[test]
     fn latency_stats_percentiles_ordered() {
         let s = LatencyStats::from_samples((1..=100).map(|i| i as f64).collect());
-        assert!(s.p50_s <= s.p95_s && s.p95_s <= s.p99_s && s.p99_s <= s.max_s);
+        assert!(s.p50_s <= s.p95_s && s.p95_s <= s.p99_s && s.p99_s <= s.p999_s);
+        assert!(s.p999_s <= s.max_s);
         assert_eq!(s.max_s, 100.0);
         assert_eq!(LatencyStats::from_samples(vec![]), LatencyStats::default());
+    }
+
+    #[test]
+    fn latency_stats_use_nearest_rank() {
+        // 100 samples 1..=100: nearest-rank p-th percentile is sample
+        // ceil(100·p), i.e. the value `100·p` itself — not one past it.
+        let s = LatencyStats::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(s.p50_s, 50.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.p99_s, 99.0);
+        assert_eq!(s.p999_s, 100.0);
+        // Singleton: every percentile is the lone sample.
+        let one = LatencyStats::from_samples(vec![7.0]);
+        assert_eq!((one.p50_s, one.p99_s, one.p999_s, one.max_s), (7.0, 7.0, 7.0, 7.0));
     }
 
     #[test]

@@ -5,9 +5,14 @@
 //!
 //! ```text
 //! # arrival_s,id,l_in,l_out
-//! 0.000000,0,512,64
-//! 0.184215,1,512,128
+//! 0,0,512,64
+//! 0.18421521,1,512,128
 //! ```
+//!
+//! Arrival times are printed with Rust's shortest round-trip `f64`
+//! formatting, so `parse_trace(format_trace(w)) == w` holds *exactly* for
+//! any workload — replaying a formatted trace is bit-identical to running
+//! the original.
 
 use crate::arrivals::ArrivalWorkload;
 use attacc_model::Request;
@@ -32,12 +37,13 @@ impl fmt::Display for ParseTraceError {
 
 impl std::error::Error for ParseTraceError {}
 
-/// Renders a workload in the trace format (comments included).
+/// Renders a workload in the trace format (comments included). Times use
+/// shortest round-trip formatting, so the codec is lossless.
 #[must_use]
 pub fn format_trace(workload: &ArrivalWorkload) -> String {
     let mut out = String::from("# arrival_s,id,l_in,l_out\n");
     for (t, r) in &workload.arrivals {
-        out.push_str(&format!("{:.6},{},{},{}\n", t, r.id, r.l_in, r.l_out));
+        out.push_str(&format!("{},{},{},{}\n", t, r.id, r.l_in, r.l_out));
     }
     out
 }
@@ -87,6 +93,9 @@ pub fn parse_trace(text: &str) -> Result<ArrivalWorkload, ParseTraceError> {
             .map_err(|_| err("bad l_out"))?;
         if parts.next().is_some() {
             return Err(err("too many fields"));
+        }
+        if !t.is_finite() || t < 0.0 {
+            return Err(err("arrival time must be finite and non-negative"));
         }
         if l_in == 0 || l_out == 0 {
             return Err(err("lengths must be positive"));
@@ -141,6 +150,47 @@ impl ArrivalWorkload {
             .collect();
         ArrivalWorkload { arrivals }
     }
+
+    /// A diurnal arrival pattern: the Poisson rate is modulated by a
+    /// sinusoid, `rate(t) = mean_rate · (1 + amplitude·sin(2πt/period))`,
+    /// evaluated at the start of each inter-arrival draw — the smooth
+    /// day/night load swing a fleet is provisioned against, as opposed to
+    /// [`ArrivalWorkload::bursty`]'s square-wave spikes.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero, the rate or period is non-positive,
+    /// `amplitude` is outside [0, 1), or the length range is empty.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // a workload shape is naturally wide
+    pub fn diurnal(
+        n: u64,
+        mean_rate_per_s: f64,
+        amplitude: f64,
+        period_s: f64,
+        l_in: u64,
+        l_out_range: (u64, u64),
+        seed: u64,
+    ) -> ArrivalWorkload {
+        assert!(n > 0, "workload must contain requests");
+        assert!(mean_rate_per_s > 0.0 && period_s > 0.0);
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1) so the rate stays positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now = 0.0f64;
+        let arrivals = (0..n)
+            .map(|id| {
+                let phase = 2.0 * std::f64::consts::PI * now / period_s;
+                let rate = mean_rate_per_s * (1.0 + amplitude * phase.sin());
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                now += -u.ln() / rate;
+                let l_out = rng.gen_range(l_out_range.0..=l_out_range.1);
+                (now, Request::new(id, l_in, l_out))
+            })
+            .collect();
+        ArrivalWorkload { arrivals }
+    }
 }
 
 #[cfg(test)]
@@ -148,15 +198,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn format_parse_roundtrip() {
+    fn format_parse_roundtrip_is_exact() {
         let wl = ArrivalWorkload::poisson(25, 3.0, 64, (4, 32), 11);
-        let text = format_trace(&wl);
-        let back = parse_trace(&text).unwrap();
-        assert_eq!(back.arrivals.len(), 25);
-        for ((t1, r1), (t2, r2)) in wl.arrivals.iter().zip(&back.arrivals) {
-            assert!((t1 - t2).abs() < 1e-6);
-            assert_eq!(r1, r2);
-        }
+        let back = parse_trace(&format_trace(&wl)).unwrap();
+        assert_eq!(back, wl, "shortest round-trip formatting is lossless");
     }
 
     #[test]
@@ -204,5 +249,31 @@ mod tests {
         let b = ArrivalWorkload::bursty(50, 1.0, 5.0, 4.0, 0.5, 32, (1, 8), 7);
         assert_eq!(a, b);
         assert!(a.arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn diurnal_modulates_density_with_phase() {
+        // Amplitude 0.9 at period 20 s: the rising half-period should see
+        // clearly more arrivals than the falling one.
+        let wl = ArrivalWorkload::diurnal(600, 4.0, 0.9, 20.0, 64, (8, 8), 13);
+        assert!(wl.arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for &(t, _) in &wl.arrivals {
+            if (t % 20.0) < 10.0 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(peak > trough + trough / 2, "peak {peak} vs trough {trough}");
+        let again = ArrivalWorkload::diurnal(600, 4.0, 0.9, 20.0, 64, (8, 8), 13);
+        assert_eq!(wl, again);
+    }
+
+    #[test]
+    fn parser_rejects_non_finite_times() {
+        assert!(parse_trace("inf,0,8,4\n").is_err());
+        assert!(parse_trace("NaN,0,8,4\n").is_err());
+        assert!(parse_trace("-1.0,0,8,4\n").is_err());
     }
 }

@@ -16,6 +16,7 @@
 //! | [`xpu`] | `attacc-xpu` | GPU/CPU rooflines, interconnects, energy |
 //! | [`serving`] | `attacc-serving` | Scheduler, SLO search, pipelining |
 //! | [`sim`] | `attacc-sim` | Platforms, executors, per-figure drivers |
+//! | [`cluster`] | `attacc-cluster` | Multi-node discrete-event serving simulator |
 //!
 //! # Quickstart
 //!
@@ -35,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use attacc_cluster as cluster;
 pub use attacc_hbm as hbm;
 pub use attacc_model as model;
 pub use attacc_pim as pim;

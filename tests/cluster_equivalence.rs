@@ -1,0 +1,118 @@
+//! Equivalence and determinism guarantees of the cluster simulator.
+//!
+//! The cluster layer must add *zero* modeling drift over the single-node
+//! serving simulator: a 1-node cluster behind a pass-through router over
+//! an ideal interconnect is required to reproduce
+//! [`attacc_serving::simulate_open_loop`] **bit-exactly** — same floats,
+//! not just close floats. And like every other layer of the stack, the
+//! cluster report must be byte-identical at any thread count and with a
+//! cold or warm timing cache.
+
+use attacc::cluster::{simulate_cluster, ClusterConfig};
+use attacc::serving::{
+    simulate_open_loop, ArrivalWorkload, SchedulerConfig, StageCost, StageExecutor,
+};
+use attacc_sim::engine::{self, TimingCache};
+use attacc_sim::{System, SystemExecutor};
+use std::sync::Mutex;
+
+/// Serializes tests that mutate the process-wide thread override or the
+/// global timing cache.
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+/// A toy executor with irrational-valued costs so any divergence in
+/// floating-point accumulation order shows up immediately.
+struct Toy;
+impl StageExecutor for Toy {
+    fn sum_stage(&self, b: u64, l: u64) -> StageCost {
+        StageCost {
+            latency_s: 1e-3 * ((b * l) as f64).sqrt(),
+            energy_j: 0.37 * b as f64,
+        }
+    }
+    fn gen_stage(&self, groups: &[(u64, u64)]) -> StageCost {
+        let n: u64 = groups.iter().map(|g| g.0).sum();
+        let work: f64 = groups.iter().map(|&(c, l)| (c * l) as f64).sum();
+        StageCost {
+            latency_s: 7e-4 + 1e-7 * work.sqrt() * n as f64,
+            energy_j: 0.011 * work,
+        }
+    }
+}
+
+fn assert_bit_exact<E: StageExecutor>(executor: &E, w: &ArrivalWorkload, cfg: SchedulerConfig) {
+    let single = simulate_open_loop(executor, w, &cfg);
+    let nodes: [&dyn StageExecutor; 1] = [executor];
+    let cluster = simulate_cluster(&nodes, w, &ClusterConfig::pass_through(cfg));
+    assert_eq!(
+        cluster.to_open_loop_report(),
+        single,
+        "1-node pass-through cluster must reproduce simulate_open_loop bit-for-bit"
+    );
+    assert_eq!(cluster.completed + cluster.abandoned, w.arrivals.len() as u64);
+}
+
+#[test]
+fn one_node_pass_through_is_bit_exact() {
+    let w = ArrivalWorkload::poisson(80, 120.0, 48, (4, 24), 17);
+    assert_bit_exact(&Toy, &w, SchedulerConfig::unlimited(8));
+}
+
+#[test]
+fn one_node_bit_exact_under_kv_pressure() {
+    // Capacity for two in-flight requests (final_len = 16 + l_out ≤ 40,
+    // capacity 80 tokens): admission head-blocks constantly but every
+    // request is feasible, exercising the KV-reservation path on both
+    // sides.
+    let w = ArrivalWorkload::poisson(60, 300.0, 16, (8, 24), 23);
+    assert_bit_exact(&Toy, &w, SchedulerConfig::with_capacity(8, 80, 1));
+}
+
+#[test]
+fn one_node_bit_exact_on_bursty_and_diurnal_shapes() {
+    for w in [
+        ArrivalWorkload::bursty(50, 60.0, 5.0, 0.5, 0.2, 32, (4, 16), 31),
+        ArrivalWorkload::diurnal(50, 60.0, 0.9, 1.5, 32, (4, 16), 31),
+    ] {
+        assert_bit_exact(&Toy, &w, SchedulerConfig::unlimited(6));
+    }
+}
+
+#[test]
+fn one_node_bit_exact_on_real_platform() {
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    let model = attacc::model::ModelConfig::gpt3_175b();
+    let exec = SystemExecutor::new(System::dgx_attacc_full(), &model);
+    let w = ArrivalWorkload::poisson(24, 8.0, 512, (16, 48), 5);
+    assert_bit_exact(&exec, &w, SchedulerConfig::unlimited(16));
+}
+
+#[test]
+fn cluster_report_is_byte_identical_across_thread_counts() {
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    engine::set_threads(1);
+    let serial = attacc_bench::cluster_frontier(24).to_string();
+    for threads in [2, 8] {
+        engine::set_threads(threads);
+        let parallel = attacc_bench::cluster_frontier(24).to_string();
+        assert_eq!(
+            serial, parallel,
+            "cluster frontier changed between 1 and {threads} threads"
+        );
+    }
+    engine::set_threads(0); // restore env-resolved default
+}
+
+#[test]
+fn cluster_report_is_byte_identical_cold_and_warm_cache() {
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    let cache = TimingCache::global();
+    cache.clear();
+    cache.reset_stats();
+    let cold = attacc_bench::cluster_frontier(24).to_string();
+    assert!(!cache.is_empty(), "cluster cells should populate the timing cache");
+    let warm = attacc_bench::cluster_frontier(24).to_string();
+    let stats = cache.stats();
+    assert_eq!(cold, warm, "cache hits changed the cluster frontier");
+    assert!(stats.hits > 0, "second run should hit the cache");
+}

@@ -128,3 +128,16 @@ fn golden_validation() {
 fn golden_ablation_gqa() {
     check("ablation_gqa", &[attacc_bench::ablation_gqa()]);
 }
+
+#[test]
+fn golden_cluster() {
+    // Smaller than the binary's CLUSTER_REQUESTS: the snapshot pins the
+    // event loop, routing and percentile math, not steady-state numbers.
+    check(
+        "cluster",
+        &[
+            attacc_bench::cluster_frontier(48),
+            attacc_bench::cluster_load_shapes(48),
+        ],
+    );
+}
