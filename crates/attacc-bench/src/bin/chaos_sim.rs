@@ -1,0 +1,13 @@
+//! Prints the chaos experiments: the goodput-under-failure frontier
+//! (per-node crash MTBF × resilience policy) and the router × resilience
+//! matrix at a fixed failure rate. Pass `--serial` to pin the sweep
+//! engine to one thread (or set `ATTACC_THREADS`), `--quiet` to suppress
+//! the stderr stats footer.
+fn main() {
+    attacc_bench::harness::run("chaos_sim", || {
+        vec![
+            attacc_bench::chaos_goodput_frontier(attacc_bench::CHAOS_REQUESTS),
+            attacc_bench::chaos_routing_matrix(attacc_bench::CHAOS_REQUESTS),
+        ]
+    });
+}

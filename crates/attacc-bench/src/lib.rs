@@ -11,6 +11,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use attacc_chaos::{
+    simulate_chaos, ChaosConfig, ChaosReport, FaultSchedule, FaultSpec, HealthConfig,
+    RecoveryMode, ResiliencePolicy,
+};
 use attacc_cluster::{
     simulate_cluster, ClusterConfig, InterconnectModel, RouterPolicy, SloSpec,
 };
@@ -21,7 +25,7 @@ use attacc_sim::experiment::{
     alternatives_study, batching_study, bitwidth_study, end_to_end, gen_stage_fraction,
     gqa_ablation, placement_study, roofline_rows, slo_study,
 };
-use attacc_serving::{ArrivalWorkload, SchedulerConfig, StageExecutor};
+use attacc_serving::{ArrivalWorkload, RetryPolicy, SchedulerConfig, StageExecutor};
 use attacc_sim::validate::validate_opt66b;
 use attacc_sim::{SweepRunner, System, SystemExecutor, Table};
 
@@ -668,6 +672,240 @@ pub fn cluster_load_shapes(n_requests: u64) -> Table {
             n(r.tbt.p99_s * 1e3),
             n(r.goodput.goodput_tokens_per_s),
         ]);
+    }
+    t
+}
+
+/// Requests per chaos-simulation cell (below [`CLUSTER_REQUESTS`]: every
+/// cell replays a full discrete-event run *plus* fault recovery work).
+pub const CHAOS_REQUESTS: u64 = 192;
+
+/// Arrival rate of the chaos experiments (req/s across the cluster).
+const CHAOS_RATE: f64 = 10.0;
+
+/// Repair time used by the chaos sweeps (s). Deliberately longer than
+/// the retry timeout and the TTFT SLO: a request that blindly waits out a
+/// repair always misses its SLO, so rescue has to come from the policy.
+const CHAOS_MTTR_S: f64 = 3.0;
+
+/// Retry knobs scaled to the chatbot SLO (2 s TTFT): time out at half the
+/// SLO so a re-dispatch to a healthy node can still land in budget. The
+/// stock `RetryPolicy::interactive` (10 s timeout) is tuned for
+/// completion, not for a 2 s TTFT bound.
+fn chaos_retry() -> RetryPolicy {
+    RetryPolicy {
+        timeout_s: 1.2,
+        max_retries: 1,
+        backoff_base_s: 0.25,
+        backoff_cap_s: 1.0,
+        jitter_frac: 0.1,
+        hedge_after_s: None,
+    }
+}
+
+/// The resilience ladder the chaos sweeps climb: blind, health-aware
+/// routing, + SLO-scaled retries, + hedging and KV-migration recovery
+/// (`[off, health, retry+health, full]`).
+#[must_use]
+pub fn chaos_policies() -> [ResiliencePolicy; 4] {
+    let retrying = ResiliencePolicy {
+        retry: chaos_retry(),
+        health: HealthConfig::aware(),
+        recovery: RecoveryMode::Reprefill,
+    };
+    let full = ResiliencePolicy {
+        retry: RetryPolicy { hedge_after_s: Some(1.2), ..chaos_retry() },
+        health: HealthConfig::aware(),
+        recovery: RecoveryMode::KvMigrate,
+    };
+    [ResiliencePolicy::off(), ResiliencePolicy::health_aware(), retrying, full]
+}
+
+/// Fault-schedule seeds averaged per sweep cell. One schedule draw is
+/// timing luck (a single crash just before drain barely hurts; the same
+/// crash mid-ramp parks half the fleet), so every cell reports the mean
+/// over this small ensemble — the trend, not the draw.
+const CHAOS_FAULT_SEEDS: [u64; 4] = [1, 2, 3, 5];
+
+/// Ensemble-mean outcomes of one chaos sweep cell (means over
+/// [`CHAOS_FAULT_SEEDS`]; count fields are fractional for that reason).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosCellStats {
+    /// Mean goodput under failure (tokens/s of SLO-met unique requests).
+    pub goodput_tokens_per_s: f64,
+    /// Mean unique requests whose earliest first token met the TTFT SLO.
+    pub requests_in_slo: f64,
+    /// Mean fleet availability in `[0, 1]`.
+    pub availability: f64,
+    /// Mean retry re-dispatches per run.
+    pub retries: f64,
+    /// Mean hedged duplicates per run.
+    pub hedges: f64,
+    /// Mean output tokens destroyed by crashes per run.
+    pub lost_tokens: f64,
+    /// Mean makespan (s).
+    pub makespan_s: f64,
+}
+
+/// One chaos sweep cell: the [`cluster_cell`] configuration wrapped in a
+/// resilience policy, averaged over the [`CHAOS_FAULT_SEEDS`] ensemble of
+/// crash schedules drawn at the given per-node MTBF (a horizon generously
+/// covering the run; late faults past the drain are no-ops). Fully
+/// deterministic: fixed seeds, fixed accumulation order.
+#[must_use]
+pub fn chaos_cell(
+    model: &ModelConfig,
+    n_nodes: usize,
+    policy: RouterPolicy,
+    resilience: ResiliencePolicy,
+    mtbf_s: f64,
+    n_requests: u64,
+) -> ChaosCellStats {
+    let execs: Vec<SystemExecutor> =
+        (0..n_nodes).map(|_| SystemExecutor::new(System::dgx_attacc_full(), model)).collect();
+    let refs: Vec<&dyn StageExecutor> = execs.iter().map(|e| e as &dyn StageExecutor).collect();
+    let workload = ArrivalWorkload::poisson(n_requests, CHAOS_RATE, 512, (64, 128), 42);
+    let horizon_s = 0.75 * n_requests as f64 / CHAOS_RATE;
+    let spec = FaultSpec::crashes_only(mtbf_s, CHAOS_MTTR_S);
+    let mut acc = ChaosCellStats {
+        goodput_tokens_per_s: 0.0,
+        requests_in_slo: 0.0,
+        availability: 0.0,
+        retries: 0.0,
+        hedges: 0.0,
+        lost_tokens: 0.0,
+        makespan_s: 0.0,
+    };
+    for &fault_seed in &CHAOS_FAULT_SEEDS {
+        let cluster = ClusterConfig {
+            scheduler: cluster_node_config(model),
+            policy,
+            interconnect: InterconnectModel::ethernet_400g()
+                .with_kv_bytes_per_token(KvCacheSpec::of(model).bytes_per_token),
+            slo: SloSpec::chatbot(),
+        };
+        let faults = FaultSchedule::generate(n_nodes, horizon_s, &spec, fault_seed);
+        let cfg = ChaosConfig { cluster, policy: resilience, seed: 7 };
+        let r: ChaosReport = simulate_chaos(&refs, &workload, &cfg, &faults);
+        acc.goodput_tokens_per_s += r.goodput_under_failure_tokens_per_s;
+        acc.requests_in_slo += r.requests_in_slo as f64;
+        acc.availability += r.availability;
+        acc.retries += r.retries as f64;
+        acc.hedges += r.hedges as f64;
+        acc.lost_tokens += r.lost_tokens as f64;
+        acc.makespan_s += r.cluster.makespan_s;
+    }
+    let k = CHAOS_FAULT_SEEDS.len() as f64;
+    ChaosCellStats {
+        goodput_tokens_per_s: acc.goodput_tokens_per_s / k,
+        requests_in_slo: acc.requests_in_slo / k,
+        availability: acc.availability / k,
+        retries: acc.retries / k,
+        hedges: acc.hedges / k,
+        lost_tokens: acc.lost_tokens / k,
+        makespan_s: acc.makespan_s / k,
+    }
+}
+
+fn chaos_row(n_requests: u64, s: &ChaosCellStats) -> Vec<String> {
+    vec![
+        n(s.goodput_tokens_per_s),
+        format!("{} / {n_requests}", n(s.requests_in_slo)),
+        n(s.availability * 100.0),
+        format!("{} / {}", n(s.retries), n(s.hedges)),
+        n(s.lost_tokens),
+        n(s.makespan_s),
+    ]
+}
+
+/// Goodput-under-failure frontier: per-node crash MTBF × resilience
+/// policy on a 4-node join-shortest-queue cluster. With resilience off
+/// goodput degrades monotonically as MTBF shrinks; retry + hedging wins
+/// most of it back. Cells are independent and run on the sweep engine.
+#[must_use]
+pub fn chaos_goodput_frontier(n_requests: u64) -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let mtbfs = [f64::INFINITY, 60.0, 20.0, 6.0];
+    let policies = chaos_policies();
+    let mut cells: Vec<(f64, ResiliencePolicy)> = Vec::new();
+    for &mtbf in &mtbfs {
+        for &policy in &policies {
+            cells.push((mtbf, policy));
+        }
+    }
+    let reports = SweepRunner::from_env().map(&cells, |&(mtbf, policy)| {
+        chaos_cell(&model, 4, RouterPolicy::JoinShortestQueue, policy, mtbf, n_requests)
+    });
+    let mut t = Table::new(
+        format!(
+            "Chaos goodput frontier: 4 DGX+AttAccs nodes, JSQ, {n_requests} requests, MTTR {CHAOS_MTTR_S} s, mean of {} fault seeds",
+            CHAOS_FAULT_SEEDS.len()
+        ),
+        &[
+            "MTBF/node (s)",
+            "resilience",
+            "goodput tok/s",
+            "in SLO",
+            "avail %",
+            "retries/hedges",
+            "lost tok",
+            "makespan (s)",
+        ],
+    );
+    for (&(mtbf, policy), r) in cells.iter().zip(&reports) {
+        let mut row = vec![
+            if mtbf.is_finite() { n(mtbf) } else { "∞".to_string() },
+            policy.name(),
+        ];
+        row.extend(chaos_row(n_requests, r));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Router × resilience matrix at a fixed failure rate: which routing
+/// policy degrades most gracefully when nodes crash, blind vs. with the
+/// full resilience stack.
+#[must_use]
+pub fn chaos_routing_matrix(n_requests: u64) -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let routers = [
+        RouterPolicy::RoundRobin,
+        RouterPolicy::JoinShortestQueue,
+        RouterPolicy::LeastKvBytes,
+        RouterPolicy::SessionAffinity { spill_backlog: 4 },
+    ];
+    let ladder = chaos_policies();
+    let policies = [ladder[0], ladder[3]];
+    let mut cells: Vec<(RouterPolicy, ResiliencePolicy)> = Vec::new();
+    for &router in &routers {
+        for &policy in &policies {
+            cells.push((router, policy));
+        }
+    }
+    let reports = SweepRunner::from_env().map(&cells, |&(router, policy)| {
+        chaos_cell(&model, 4, router, policy, 20.0, n_requests)
+    });
+    let mut t = Table::new(
+        format!(
+            "Chaos routing matrix: 4 nodes, MTBF 20 s, MTTR {CHAOS_MTTR_S} s, {n_requests} requests, mean of {} fault seeds",
+            CHAOS_FAULT_SEEDS.len()
+        ),
+        &[
+            "router",
+            "resilience",
+            "goodput tok/s",
+            "in SLO",
+            "avail %",
+            "retries/hedges",
+            "lost tok",
+            "makespan (s)",
+        ],
+    );
+    for (&(router, policy), r) in cells.iter().zip(&reports) {
+        let mut row = vec![router.name().to_string(), policy.name()];
+        row.extend(chaos_row(n_requests, r));
+        t.push_row(row);
     }
     t
 }

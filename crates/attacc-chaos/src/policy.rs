@@ -1,0 +1,164 @@
+//! Resilience policies: what the front door does about failure.
+//!
+//! The policy has three independent axes — request-level retry/hedging
+//! (an [`attacc_serving::RetryPolicy`]), health-aware routing (an EWMA
+//! latency signal that masks down and degraded nodes out of the routing
+//! decision), and the recovery mode for work displaced by a crash
+//! (re-prefill from scratch vs. re-migrating a surviving KV image). The
+//! `off` policy disables all three and is the bit-exactness anchor: under
+//! it a zero-fault chaos run must equal `simulate_cluster` exactly.
+
+use attacc_serving::RetryPolicy;
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// How a request displaced by a node crash gets its context back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum RecoveryMode {
+    /// Re-dispatch cold: the new node recomputes the whole context in its
+    /// Sum stage. Pays compute, no extra wire time.
+    #[default]
+    Reprefill,
+    /// Re-dispatch warm from a surviving KV image (checkpoint / replica
+    /// outside the crashed node): the new node skips its Sum stage but
+    /// the image pays the interconnect's per-token KV-migration cost.
+    KvMigrate,
+}
+
+impl RecoveryMode {
+    /// Human-readable mode name for tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryMode::Reprefill => "reprefill",
+            RecoveryMode::KvMigrate => "kv-migrate",
+        }
+    }
+}
+
+/// EWMA-based node-health signal configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct HealthConfig {
+    /// Whether routing masks out down and degraded nodes at all. Off
+    /// means the front door is failure-blind (the pessimistic baseline).
+    pub enabled: bool,
+    /// EWMA smoothing factor in `(0, 1]` applied to each node's
+    /// per-token round latency (1 = latest sample only).
+    pub ewma_alpha: f64,
+    /// A node is degraded (and masked out) when its EWMA per-token
+    /// latency exceeds this multiple of the healthiest up node's.
+    pub degraded_factor: f64,
+}
+
+impl HealthConfig {
+    /// Failure-blind routing.
+    #[must_use]
+    pub fn off() -> HealthConfig {
+        HealthConfig { enabled: false, ewma_alpha: 0.3, degraded_factor: f64::INFINITY }
+    }
+
+    /// Health-aware routing: 0.3 smoothing, nodes 3× slower than the
+    /// best are excluded.
+    #[must_use]
+    pub fn aware() -> HealthConfig {
+        HealthConfig { enabled: true, ewma_alpha: 0.3, degraded_factor: 3.0 }
+    }
+}
+
+/// The full resilience policy the chaos layer wraps around the router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ResiliencePolicy {
+    /// Per-request timeout / retry / hedging knobs.
+    pub retry: RetryPolicy,
+    /// Health-aware routing knobs.
+    pub health: HealthConfig,
+    /// How crash-displaced work recovers its context.
+    pub recovery: RecoveryMode,
+}
+
+impl ResiliencePolicy {
+    /// Everything off: no timers, failure-blind routing, re-prefill
+    /// recovery. The zero-fault bit-exactness anchor.
+    #[must_use]
+    pub fn off() -> ResiliencePolicy {
+        ResiliencePolicy {
+            retry: RetryPolicy::off(),
+            health: HealthConfig::off(),
+            recovery: RecoveryMode::Reprefill,
+        }
+    }
+
+    /// Health-aware routing only: down/degraded nodes are masked out,
+    /// but no retries or hedging.
+    #[must_use]
+    pub fn health_aware() -> ResiliencePolicy {
+        ResiliencePolicy { health: HealthConfig::aware(), ..ResiliencePolicy::off() }
+    }
+
+    /// Retries + health-aware routing, no hedging.
+    #[must_use]
+    pub fn retrying() -> ResiliencePolicy {
+        ResiliencePolicy {
+            retry: RetryPolicy::interactive(),
+            health: HealthConfig::aware(),
+            recovery: RecoveryMode::Reprefill,
+        }
+    }
+
+    /// The works: retries, hedged re-dispatch after `hedge_after_s`,
+    /// health-aware routing, KV-migration recovery.
+    #[must_use]
+    pub fn full(hedge_after_s: f64) -> ResiliencePolicy {
+        ResiliencePolicy {
+            retry: RetryPolicy::hedged(hedge_after_s),
+            health: HealthConfig::aware(),
+            recovery: RecoveryMode::KvMigrate,
+        }
+    }
+
+    /// Short policy name for sweep tables.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if self.retry.timeouts_enabled() {
+            parts.push("retry");
+        }
+        if self.retry.hedge_after_s.is_some() {
+            parts.push("hedge");
+        }
+        if self.health.enabled {
+            parts.push("health");
+        }
+        if parts.is_empty() {
+            return "off".to_string();
+        }
+        if self.recovery == RecoveryMode::KvMigrate {
+            parts.push("kv-migrate");
+        }
+        parts.join("+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_reflect_enabled_axes() {
+        assert_eq!(ResiliencePolicy::off().name(), "off");
+        assert_eq!(ResiliencePolicy::health_aware().name(), "health");
+        assert_eq!(ResiliencePolicy::retrying().name(), "retry+health");
+        assert_eq!(ResiliencePolicy::full(0.5).name(), "retry+hedge+health+kv-migrate");
+    }
+
+    #[test]
+    fn off_policy_is_inert() {
+        let p = ResiliencePolicy::off();
+        assert!(!p.retry.timeouts_enabled());
+        assert!(!p.health.enabled);
+        assert_eq!(p.recovery, RecoveryMode::Reprefill);
+    }
+}

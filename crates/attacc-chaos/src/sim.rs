@@ -1,0 +1,698 @@
+//! The chaos simulation driver: the cluster event loop plus fault
+//! transitions and a resilience layer in front of the router.
+//!
+//! [`simulate_chaos`] is a strict superset of
+//! [`attacc_cluster::simulate_cluster`]: the Arrival → Deliver →
+//! NodeReady machinery is replicated operation-for-operation (same load
+//! snapshots, same float expressions, same makespan accounting), and the
+//! fault/resilience paths are written to be *exactly* inert when unused —
+//! an all-`true` eligibility mask routes identically, a link factor of
+//! `1.0` multiplies delays by exactly `1.0`, and no timers exist under
+//! [`ResiliencePolicy::off`]. That is what makes the zero-fault
+//! equivalence contract (pinned in `tests/cluster_equivalence.rs`)
+//! bit-exact rather than merely close.
+
+use crate::fault::FaultSchedule;
+use crate::policy::{RecoveryMode, ResiliencePolicy};
+use crate::report::ChaosReport;
+use attacc_cluster::{
+    splitmix64, ClusterConfig, ClusterReport, EventKind, EventQueue, NodeEngine, NodeLoad, Router,
+    RouterPolicy,
+};
+use attacc_model::Request;
+use attacc_serving::{ArrivalWorkload, StageExecutor};
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything a chaos run needs besides executors, workload, and faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ChaosConfig {
+    /// The underlying cluster configuration (scheduler, router policy,
+    /// interconnect, SLO).
+    pub cluster: ClusterConfig,
+    /// The resilience policy wrapped around the router.
+    pub policy: ResiliencePolicy,
+    /// Seed for retry-jitter draws (independent of the fault schedule's
+    /// seed).
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// `cluster` with the resilience policy off — the configuration under
+    /// which a zero-fault chaos run is bit-exact with `simulate_cluster`.
+    #[must_use]
+    pub fn inert(cluster: ClusterConfig) -> ChaosConfig {
+        ChaosConfig { cluster, policy: ResiliencePolicy::off(), seed: 0 }
+    }
+}
+
+/// Per-logical-request bookkeeping, keyed by request id in a `BTreeMap`
+/// so iteration order — and therefore every derived statistic — is
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+struct Track {
+    /// Front-door arrival time.
+    arrival_s: f64,
+    /// The original request (re-dispatches and hedges duplicate this).
+    request: Request,
+    /// Dispatch attempts so far (initial dispatch = 1).
+    attempts: u32,
+    /// Whether the hedged duplicate has been issued.
+    hedged: bool,
+    /// Earliest first token across all copies.
+    first_token_s: Option<f64>,
+    /// Earliest completion across all copies.
+    completed_s: Option<f64>,
+    /// Copies that ran to completion (> 1 means duplicated work).
+    completions: u64,
+}
+
+struct ChaosSim<'a, 'b> {
+    cfg: &'b ChaosConfig,
+    engines: Vec<NodeEngine<'a>>,
+    router: Router,
+    n: usize,
+    q: EventQueue,
+    in_flight: Vec<u64>,
+    in_flight_tokens: Vec<u64>,
+    ready_scheduled: Vec<bool>,
+    busy_until: Vec<f64>,
+    up: Vec<bool>,
+    link_factor: f64,
+    /// EWMA of per-token round latency, the health signal.
+    ewma: Vec<Option<f64>>,
+    makespan: f64,
+    trackers: BTreeMap<u64, Track>,
+    crashes: u64,
+    retries: u64,
+    hedges: u64,
+    timeouts_exhausted: u64,
+    lost_tokens: u64,
+    recomputed_tokens: u64,
+    migrated_kv_tokens: u64,
+    /// `(node, down_s, up_s)` windows, clamped to the makespan at report
+    /// time.
+    downtime: Vec<(usize, f64, f64)>,
+    down_since: Vec<Option<f64>>,
+}
+
+impl<'a, 'b> ChaosSim<'a, 'b> {
+    fn new(nodes: &[&'a dyn StageExecutor], cfg: &'b ChaosConfig) -> ChaosSim<'a, 'b> {
+        let n = nodes.len();
+        ChaosSim {
+            cfg,
+            engines: nodes.iter().map(|e| NodeEngine::new(*e, cfg.cluster.scheduler)).collect(),
+            router: Router::new(cfg.cluster.policy),
+            n,
+            q: EventQueue::new(),
+            in_flight: vec![0; n],
+            in_flight_tokens: vec![0; n],
+            ready_scheduled: vec![false; n],
+            busy_until: vec![0.0; n],
+            up: vec![true; n],
+            link_factor: 1.0,
+            ewma: vec![None; n],
+            makespan: 0.0,
+            trackers: BTreeMap::new(),
+            crashes: 0,
+            retries: 0,
+            hedges: 0,
+            timeouts_exhausted: 0,
+            lost_tokens: 0,
+            recomputed_tokens: 0,
+            migrated_kv_tokens: 0,
+            downtime: Vec::new(),
+            down_since: vec![None; n],
+        }
+    }
+
+    /// The routing mask: all nodes when routing is failure-blind;
+    /// otherwise up-and-not-degraded, falling back to up, falling back to
+    /// everyone (so a dispatch always has a destination — at worst it
+    /// parks at a dead node's door until recovery).
+    fn eligibility(&self) -> Vec<bool> {
+        if !self.cfg.policy.health.enabled {
+            return vec![true; self.n];
+        }
+        let mut mask = self.up.clone();
+        let best = (0..self.n)
+            .filter(|&i| self.up[i])
+            .filter_map(|i| self.ewma[i])
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            let cut = self.cfg.policy.health.degraded_factor * best;
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m && self.ewma[i].is_some_and(|e| e > cut) {
+                    *m = false;
+                }
+            }
+        }
+        if !mask.iter().any(|&m| m) {
+            mask.copy_from_slice(&self.up);
+        }
+        if !mask.iter().any(|&m| m) {
+            mask.fill(true);
+        }
+        mask
+    }
+
+    /// Routes and ships one copy of `request`, warm or cold. Mirrors the
+    /// Arrival arm of `simulate_cluster` exactly when the mask is
+    /// all-`true`, `warm` is false, and the link factor is 1.
+    fn dispatch(&mut self, now: f64, arrival_s: f64, request: Request, warm: bool) {
+        let loads: Vec<NodeLoad> = (0..self.n)
+            .map(|i| NodeLoad {
+                backlog: self.in_flight[i]
+                    + self.engines[i].queued_len() as u64
+                    + self.engines[i].active_len() as u64,
+                kv_tokens: self.in_flight_tokens[i] + self.engines[i].pledged_tokens(),
+            })
+            .collect();
+        let mask = self.eligibility();
+        let decision = self.router.route_among(request.id, &loads, &mask);
+        let delay = if self.cfg.cluster.policy == RouterPolicy::PassThrough {
+            0.0
+        } else {
+            let ic = &self.cfg.cluster.interconnect;
+            let mut d = ic.ship_prompt_s(request.l_in);
+            if warm || decision.migrated {
+                d += ic.migrate_kv_s(request.l_in);
+            }
+            d * self.link_factor
+        };
+        self.in_flight[decision.node] += 1;
+        self.in_flight_tokens[decision.node] += request.final_len();
+        self.q.push(
+            now + delay,
+            EventKind::Deliver { node: decision.node, arrival_s, request, warm },
+        );
+    }
+
+    /// Deterministic retry jitter: a seeded fraction of the backoff for
+    /// this (request, attempt) pair.
+    fn jitter(&self, id: u64, attempt: u32) -> f64 {
+        let p = &self.cfg.policy.retry;
+        let backoff = p.backoff_s(attempt);
+        if backoff <= 0.0 || p.jitter_frac <= 0.0 {
+            return 0.0;
+        }
+        let bits = splitmix64(self.cfg.seed ^ (id << 8) ^ u64::from(attempt));
+        let frac = (bits >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+        backoff * p.jitter_frac * frac
+    }
+
+    /// Arms the retry timer for dispatch attempt `attempt`, measured from
+    /// `dispatched_s`.
+    fn arm_retry_timer(&mut self, id: u64, attempt: u32, dispatched_s: f64) {
+        let p = &self.cfg.policy.retry;
+        if !p.timeouts_enabled() {
+            return;
+        }
+        let at = dispatched_s + p.timeout_s + p.backoff_s(attempt) + self.jitter(id, attempt);
+        self.q.push(at, EventKind::Timer { id, attempt, hedge: false });
+    }
+
+    fn on_arrival(&mut self, now: f64, request: Request) {
+        self.trackers.insert(
+            request.id,
+            Track {
+                arrival_s: now,
+                request,
+                attempts: 1,
+                hedged: false,
+                first_token_s: None,
+                completed_s: None,
+                completions: 0,
+            },
+        );
+        self.dispatch(now, now, request, false);
+        self.arm_retry_timer(request.id, 1, now);
+        if let Some(h) = self.cfg.policy.retry.hedge_after_s {
+            self.q.push(now + h, EventKind::Timer { id: request.id, attempt: 1, hedge: true });
+        }
+    }
+
+    fn on_deliver(&mut self, now: f64, node: usize, arrival_s: f64, request: Request, warm: bool) {
+        self.in_flight[node] -= 1;
+        self.in_flight_tokens[node] -= request.final_len();
+        if warm {
+            self.engines[node].deliver_warm(arrival_s, request);
+        } else {
+            self.engines[node].deliver(arrival_s, request);
+        }
+        // A down node's door still accepts the package, but nobody is
+        // home to run rounds: the NodeUp handler pokes it on recovery.
+        if self.up[node] && !self.ready_scheduled[node] {
+            self.ready_scheduled[node] = true;
+            self.q.push(now.max(self.busy_until[node]), EventKind::NodeReady { node });
+        }
+    }
+
+    fn on_node_ready(&mut self, now: f64, node: usize) {
+        self.ready_scheduled[node] = false;
+        if !self.up[node] || self.engines[node].is_drained() {
+            return;
+        }
+        let out = self.engines[node].run_round(now);
+        self.busy_until[node] = out.end_s;
+        self.makespan = self.makespan.max(out.end_s);
+        for (id, ts) in self.engines[node].take_first_tokens() {
+            let tr = self.trackers.get_mut(&id).expect("first token for tracked request");
+            tr.first_token_s = Some(tr.first_token_s.map_or(ts, |p| p.min(ts)));
+        }
+        for (id, ts) in self.engines[node].take_retired() {
+            let tr = self.trackers.get_mut(&id).expect("retirement for tracked request");
+            tr.completions += 1;
+            tr.completed_s = Some(tr.completed_s.map_or(ts, |p| p.min(ts)));
+        }
+        if out.tokens > 0 {
+            let sample = (out.end_s - now) / out.tokens as f64;
+            let alpha = self.cfg.policy.health.ewma_alpha;
+            self.ewma[node] =
+                Some(self.ewma[node].map_or(sample, |e| alpha * sample + (1.0 - alpha) * e));
+        }
+        if !self.engines[node].is_drained() {
+            self.ready_scheduled[node] = true;
+            self.q.push(out.end_s, EventKind::NodeReady { node });
+        }
+    }
+
+    fn on_node_down(&mut self, now: f64, node: usize) {
+        self.crashes += 1;
+        if self.up[node] {
+            self.up[node] = false;
+            self.down_since[node] = Some(now);
+        }
+        let wreck = self.engines[node].crash(now);
+        self.lost_tokens += wreck.lost_tokens;
+        for d in wreck.displaced {
+            // Tokens whose KV state existed somewhere when the node died:
+            // the whole context for admitted requests, the migrated image
+            // for warm-queued ones, nothing for cold-queued ones.
+            let kv_built = if d.progress > 0 {
+                d.request.l_in + d.progress
+            } else if d.warm {
+                d.request.l_in
+            } else {
+                0
+            };
+            let folded = if d.progress > 0 {
+                Request::new(
+                    d.request.id,
+                    d.request.l_in + d.progress,
+                    d.request.l_out - d.progress,
+                )
+            } else {
+                d.request
+            };
+            match self.cfg.policy.recovery {
+                RecoveryMode::KvMigrate if kv_built > 0 => {
+                    self.migrated_kv_tokens += kv_built;
+                    self.dispatch(now, d.arrival_s, folded, true);
+                }
+                _ => {
+                    self.recomputed_tokens += kv_built;
+                    self.dispatch(now, d.arrival_s, folded, false);
+                }
+            }
+        }
+    }
+
+    fn on_node_up(&mut self, now: f64, node: usize) {
+        if self.up[node] {
+            return;
+        }
+        self.up[node] = true;
+        if let Some(since) = self.down_since[node].take() {
+            self.downtime.push((node, since, now));
+        }
+        if !self.engines[node].is_drained() && !self.ready_scheduled[node] {
+            self.ready_scheduled[node] = true;
+            self.q.push(now.max(self.busy_until[node]), EventKind::NodeReady { node });
+        }
+    }
+
+    fn on_timer(&mut self, now: f64, id: u64, hedge: bool) {
+        let tr = *self.trackers.get(&id).expect("timer for tracked request");
+        if tr.first_token_s.is_some() {
+            return; // the request is making progress; the timer is moot
+        }
+        if hedge {
+            if tr.hedged {
+                return;
+            }
+            self.trackers.get_mut(&id).expect("tracked").hedged = true;
+            self.hedges += 1;
+            self.makespan = self.makespan.max(now);
+            self.dispatch(now, tr.arrival_s, tr.request, false);
+        } else {
+            if tr.attempts > self.cfg.policy.retry.max_retries {
+                self.timeouts_exhausted += 1;
+                return;
+            }
+            let attempt = tr.attempts + 1;
+            self.trackers.get_mut(&id).expect("tracked").attempts = attempt;
+            self.retries += 1;
+            self.makespan = self.makespan.max(now);
+            self.dispatch(now, tr.arrival_s, tr.request, false);
+            self.arm_retry_timer(id, attempt, now);
+        }
+    }
+
+    fn run(&mut self, workload: &ArrivalWorkload) {
+        for &(t, request) in &workload.arrivals {
+            self.q.push(t, EventKind::Arrival { request });
+        }
+        while let Some(ev) = self.q.pop() {
+            match ev.kind {
+                // Work events advance the makespan exactly as in
+                // simulate_cluster; fault transitions and moot timers do
+                // not (a recovery long after the drain is not "work").
+                EventKind::Arrival { request } => {
+                    self.makespan = self.makespan.max(ev.time_s);
+                    self.on_arrival(ev.time_s, request);
+                }
+                EventKind::Deliver { node, arrival_s, request, warm } => {
+                    self.makespan = self.makespan.max(ev.time_s);
+                    self.on_deliver(ev.time_s, node, arrival_s, request, warm);
+                }
+                EventKind::NodeReady { node } => {
+                    self.makespan = self.makespan.max(ev.time_s);
+                    self.on_node_ready(ev.time_s, node);
+                }
+                EventKind::NodeDown { node } => self.on_node_down(ev.time_s, node),
+                EventKind::NodeUp { node } => self.on_node_up(ev.time_s, node),
+                EventKind::Slowdown { node, factor } => self.engines[node].set_slowdown(factor),
+                EventKind::LinkFactor { factor } => self.link_factor = factor,
+                EventKind::Timer { id, attempt: _, hedge } => self.on_timer(ev.time_s, id, hedge),
+            }
+        }
+    }
+
+    fn into_report(mut self, faults_injected: u64) -> ChaosReport {
+        let slo = self.cfg.cluster.slo;
+        let cluster = ClusterReport::from_engines(
+            self.cfg.cluster.policy.name(),
+            &mut self.engines,
+            self.makespan,
+            &slo,
+        );
+
+        let mut unique_completed = 0u64;
+        let mut requests_in_slo = 0u64;
+        let mut goodput_tokens = 0u64;
+        let mut duplicate_completions = 0u64;
+        for tr in self.trackers.values() {
+            if tr.completed_s.is_none() {
+                continue;
+            }
+            unique_completed += 1;
+            duplicate_completions += tr.completions.saturating_sub(1);
+            if tr.first_token_s.is_some_and(|ft| ft - tr.arrival_s <= slo.ttft_s) {
+                requests_in_slo += 1;
+                goodput_tokens += tr.request.l_out;
+            }
+        }
+
+        // Unfinished windows (a schedule ending mid-outage) run to the
+        // makespan; every window is clamped to it for availability.
+        for (node, since) in self.down_since.iter().enumerate() {
+            if let Some(s) = since {
+                self.downtime.push((node, *s, self.makespan));
+            }
+        }
+        let mut node_downtime_s = vec![0.0f64; self.n];
+        for &(node, d, u) in &self.downtime {
+            let clamped = u.min(self.makespan) - d.min(self.makespan);
+            if clamped > 0.0 {
+                node_downtime_s[node] += clamped;
+            }
+        }
+        let total_down: f64 = node_downtime_s.iter().sum();
+        let availability = if self.makespan > 0.0 {
+            1.0 - total_down / (self.n as f64 * self.makespan)
+        } else {
+            1.0
+        };
+
+        ChaosReport {
+            policy: self.cfg.policy.name(),
+            recovery: self.cfg.policy.recovery.name().to_string(),
+            cluster,
+            faults_injected,
+            crashes: self.crashes,
+            availability,
+            node_downtime_s,
+            retries: self.retries,
+            hedges: self.hedges,
+            timeouts_exhausted: self.timeouts_exhausted,
+            lost_tokens: self.lost_tokens,
+            recomputed_tokens: self.recomputed_tokens,
+            migrated_kv_tokens: self.migrated_kv_tokens,
+            unique_completed,
+            duplicate_completions,
+            requests_in_slo,
+            goodput_under_failure_tokens_per_s: if self.makespan > 0.0 {
+                goodput_tokens as f64 / self.makespan
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Runs `workload` through a cluster of one node per executor in `nodes`,
+/// under fault timeline `faults` and the resilience policy in `cfg`.
+///
+/// Determinism contract: the result is a pure function of the arguments —
+/// same inputs give byte-identical reports at any thread count, cold or
+/// warm timing cache. With `faults` empty and
+/// [`ResiliencePolicy::off`], `report.cluster` is bit-exact with
+/// [`attacc_cluster::simulate_cluster`] on the same inputs.
+///
+/// # Panics
+/// Panics if `nodes` is empty, the scheduler batch cap is zero, or a
+/// fault names a node outside the cluster.
+#[must_use]
+pub fn simulate_chaos(
+    nodes: &[&dyn StageExecutor],
+    workload: &ArrivalWorkload,
+    cfg: &ChaosConfig,
+    faults: &FaultSchedule,
+) -> ChaosReport {
+    assert!(!nodes.is_empty(), "cluster needs at least one node");
+    let mut sim = ChaosSim::new(nodes, cfg);
+    let faults_injected = faults.inject(&mut sim.q, nodes.len());
+    sim.run(workload);
+    sim.into_report(faults_injected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attacc_cluster::simulate_cluster;
+    use attacc_serving::{SchedulerConfig, StageCost};
+
+    struct Toy;
+    impl StageExecutor for Toy {
+        fn sum_stage(&self, b: u64, l: u64) -> StageCost {
+            StageCost { latency_s: 1e-5 * (b * l) as f64, energy_j: 0.1 * b as f64 }
+        }
+        fn gen_stage(&self, groups: &[(u64, u64)]) -> StageCost {
+            let n: u64 = groups.iter().map(|g| g.0).sum();
+            StageCost { latency_s: 5e-4 + 1e-6 * n as f64, energy_j: 0.01 * n as f64 }
+        }
+    }
+
+    fn workload() -> ArrivalWorkload {
+        ArrivalWorkload::poisson(40, 50.0, 64, (4, 12), 7)
+    }
+
+    fn cluster_cfg(policy: RouterPolicy) -> ClusterConfig {
+        ClusterConfig { policy, ..ClusterConfig::pass_through(SchedulerConfig::unlimited(8)) }
+    }
+
+    #[test]
+    fn zero_faults_off_policy_is_bit_exact_with_cluster() {
+        for policy in [
+            RouterPolicy::PassThrough,
+            RouterPolicy::RoundRobin,
+            RouterPolicy::JoinShortestQueue,
+            RouterPolicy::LeastKvBytes,
+            RouterPolicy::SessionAffinity { spill_backlog: 2 },
+        ] {
+            let w = workload();
+            let cfg = cluster_cfg(policy);
+            let plain = simulate_cluster(&[&Toy, &Toy, &Toy], &w, &cfg);
+            let chaos = simulate_chaos(
+                &[&Toy, &Toy, &Toy],
+                &w,
+                &ChaosConfig::inert(cfg),
+                &FaultSchedule::none(),
+            );
+            assert_eq!(chaos.cluster, plain, "policy {}", policy.name());
+            assert_eq!(chaos.crashes, 0);
+            assert_eq!(chaos.retries + chaos.hedges, 0);
+            assert_eq!(chaos.availability, 1.0);
+            assert_eq!(chaos.unique_completed, 40);
+            assert_eq!(chaos.duplicate_completions, 0);
+        }
+    }
+
+    #[test]
+    fn crash_displaces_work_and_everything_still_completes() {
+        let w = workload();
+        let cfg = ChaosConfig::inert(cluster_cfg(RouterPolicy::JoinShortestQueue));
+        let mut faults = FaultSchedule::none();
+        faults.crash(0, 0.05, 0.5);
+        let r = simulate_chaos(&[&Toy, &Toy], &w, &cfg, &faults);
+        assert_eq!(r.crashes, 1);
+        assert_eq!(r.unique_completed, 40, "displaced requests are re-dispatched and finish");
+        assert!(r.availability < 1.0);
+        assert!(r.node_downtime_s[0] > 0.0);
+        assert_eq!(r.node_downtime_s[1], 0.0);
+    }
+
+    #[test]
+    fn same_inputs_same_report_under_faults() {
+        let w = workload();
+        let cfg = ChaosConfig {
+            cluster: cluster_cfg(RouterPolicy::JoinShortestQueue),
+            policy: ResiliencePolicy::full(0.05),
+            seed: 99,
+        };
+        let faults =
+            FaultSchedule::generate(2, 2.0, &crate::fault::FaultSpec::crashes_only(0.4, 0.2), 5);
+        let a = simulate_chaos(&[&Toy, &Toy], &w, &cfg, &faults);
+        let b = simulate_chaos(&[&Toy, &Toy], &w, &cfg, &faults);
+        assert_eq!(a, b, "chaos simulation is a pure function of its inputs");
+    }
+
+    #[test]
+    fn health_aware_routing_avoids_the_dead_node() {
+        // Node 0 dies almost immediately and stays down well past the
+        // drain; health-aware routing sends everything to node 1.
+        let w = workload();
+        let mut faults = FaultSchedule::none();
+        faults.crash(0, 1e-4, 1e6);
+        let cfg = ChaosConfig {
+            cluster: cluster_cfg(RouterPolicy::JoinShortestQueue),
+            policy: ResiliencePolicy::health_aware(),
+            seed: 0,
+        };
+        let r = simulate_chaos(&[&Toy, &Toy], &w, &cfg, &faults);
+        assert_eq!(r.unique_completed, 40);
+        // Blind routing under the same fault parks half the fleet's work
+        // at a dead door for a very long time.
+        let blind = ChaosConfig { policy: ResiliencePolicy::off(), ..cfg };
+        let b = simulate_chaos(&[&Toy, &Toy], &w, &blind, &faults);
+        assert!(
+            r.cluster.makespan_s < b.cluster.makespan_s,
+            "health-aware drains in {} s, blind takes {} s",
+            r.cluster.makespan_s,
+            b.cluster.makespan_s
+        );
+    }
+
+    #[test]
+    fn retries_rescue_requests_parked_at_a_dead_node() {
+        let w = workload();
+        let mut faults = FaultSchedule::none();
+        faults.crash(0, 1e-4, 1e5);
+        let mut policy = ResiliencePolicy::retrying();
+        policy.health.enabled = false; // blind routing, retries only
+        policy.retry.timeout_s = 0.05;
+        policy.retry.max_retries = 6;
+        let cfg = ChaosConfig {
+            cluster: cluster_cfg(RouterPolicy::JoinShortestQueue),
+            policy,
+            seed: 3,
+        };
+        let r = simulate_chaos(&[&Toy, &Toy], &w, &cfg, &faults);
+        assert!(r.retries > 0, "parked requests must time out and retry");
+        assert_eq!(r.unique_completed, 40);
+        assert_eq!(r.requests_in_slo, 40, "every parked request is rescued within the TTFT SLO");
+        assert!(r.duplicate_completions > 0, "the parked copies still drain after recovery");
+        // The failure-blind baseline leaves the parked requests waiting
+        // out the full outage — they miss the SLO.
+        let blind = ChaosConfig { policy: ResiliencePolicy::off(), ..cfg };
+        let b = simulate_chaos(&[&Toy, &Toy], &w, &blind, &faults);
+        assert!(b.requests_in_slo < 40, "without retries, parked requests miss the SLO");
+    }
+
+    #[test]
+    fn hedging_fires_and_wins_races() {
+        let w = workload();
+        let mut faults = FaultSchedule::none();
+        faults.crash(0, 1e-4, 1e5);
+        // Hedge quickly; the interactive 10 s retry stays on as backstop
+        // for copies the hedge itself parks at the dead door.
+        let mut policy = ResiliencePolicy::full(0.02);
+        policy.health.enabled = false;
+        let cfg = ChaosConfig {
+            cluster: cluster_cfg(RouterPolicy::JoinShortestQueue),
+            policy,
+            seed: 3,
+        };
+        let r = simulate_chaos(&[&Toy, &Toy], &w, &cfg, &faults);
+        assert!(r.hedges > 0, "parked requests must hedge");
+        assert_eq!(r.retries, 0, "the hedge wins before the retry backstop fires");
+        assert_eq!(r.unique_completed, 40);
+        assert_eq!(r.requests_in_slo, 40, "hedged duplicates win the race within the SLO");
+        assert!(r.duplicate_completions > 0, "losing copies still complete — no cancellation");
+    }
+
+    #[test]
+    fn kv_migrate_pays_wire_reprefill_pays_compute() {
+        // Long outputs (32–64 tokens ≈ 20–40 ms of Gen rounds) guarantee
+        // node 0 has admitted, in-progress work when the crash lands.
+        let w = ArrivalWorkload::poisson(30, 200.0, 64, (32, 64), 3);
+        let mut faults = FaultSchedule::none();
+        faults.crash(0, 0.02, 0.2);
+        let base = ClusterConfig {
+            policy: RouterPolicy::JoinShortestQueue,
+            interconnect: attacc_cluster::InterconnectModel::ethernet_400g()
+                .with_kv_bytes_per_token(1 << 16),
+            ..ClusterConfig::pass_through(SchedulerConfig::unlimited(8))
+        };
+        let reprefill = ChaosConfig {
+            cluster: base,
+            policy: ResiliencePolicy::health_aware(),
+            seed: 0,
+        };
+        let migrate = ChaosConfig {
+            policy: ResiliencePolicy {
+                recovery: RecoveryMode::KvMigrate,
+                ..ResiliencePolicy::health_aware()
+            },
+            ..reprefill
+        };
+        let rp = simulate_chaos(&[&Toy, &Toy], &w, &reprefill, &faults);
+        let km = simulate_chaos(&[&Toy, &Toy], &w, &migrate, &faults);
+        assert_eq!(rp.unique_completed, 30);
+        assert_eq!(km.unique_completed, 30);
+        assert!(rp.recomputed_tokens > 0 && rp.migrated_kv_tokens == 0);
+        assert!(km.migrated_kv_tokens > 0 && km.recomputed_tokens == 0);
+        // Both modes lose the same in-flight tokens to the crash itself.
+        assert_eq!(rp.lost_tokens, km.lost_tokens);
+    }
+
+    #[test]
+    fn straggler_and_link_windows_stretch_the_run() {
+        let w = workload();
+        let cfg = ChaosConfig::inert(ClusterConfig {
+            policy: RouterPolicy::RoundRobin,
+            interconnect: attacc_cluster::InterconnectModel::ethernet_400g(),
+            ..cluster_cfg(RouterPolicy::RoundRobin)
+        });
+        let clean = simulate_chaos(&[&Toy, &Toy], &w, &cfg, &FaultSchedule::none());
+        let mut faults = FaultSchedule::none();
+        faults.straggle(0, 0.0, 10.0, 8.0).degrade_link(0.0, 10.0, 50.0);
+        let hit = simulate_chaos(&[&Toy, &Toy], &w, &cfg, &faults);
+        assert_eq!(hit.unique_completed, 40);
+        assert!(hit.cluster.makespan_s > clean.cluster.makespan_s);
+        assert!(hit.cluster.ttft.p99_s > clean.cluster.ttft.p99_s);
+    }
+}

@@ -1,12 +1,19 @@
 //! The deterministic event queue driving the cluster simulation.
 //!
 //! Events are totally ordered by `(time, kind rank, sequence number)`:
-//! ties at the same virtual time resolve arrivals before deliveries before
-//! node wake-ups (mirroring the single-node open-loop scheduler, which
-//! moves due arrivals into the queue *before* admitting), and equal-kind
-//! ties resolve in insertion order. The order is therefore a pure function
+//! ties at the same virtual time resolve fault transitions first (a node
+//! that crashes at `t` is already down for an arrival at `t`), then
+//! arrivals before deliveries before resilience timers before node
+//! wake-ups (mirroring the single-node open-loop scheduler, which moves
+//! due arrivals into the queue *before* admitting), and equal-kind ties
+//! resolve in insertion order. The order is therefore a pure function
 //! of the inserted events — no wall clock, no hash iteration, no thread
 //! interleaving — which is what makes the whole simulator replayable.
+//!
+//! The fault-transition kinds (`NodeDown`, `NodeUp`, `Slowdown`,
+//! `LinkFactor`) and the resilience `Timer` are pushed only by the
+//! `attacc-chaos` fault-injection layer; `simulate_cluster` never emits
+//! them, so adding them cannot perturb a fault-free run.
 
 use attacc_model::Request;
 use std::cmp::Ordering;
@@ -15,6 +22,34 @@ use std::collections::BinaryHeap;
 /// What happens at an event's virtual time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
+    /// A node crashes: its queued and active requests lose their KV state
+    /// and return to the front door (chaos layer only).
+    NodeDown {
+        /// The crashing node.
+        node: usize,
+    },
+    /// A crashed node recovers: capacity is restored, state is not
+    /// (chaos layer only).
+    NodeUp {
+        /// The recovering node.
+        node: usize,
+    },
+    /// A node's execution slows down by a multiplicative factor
+    /// (straggler start at `factor > 1`, end at `factor = 1`; chaos layer
+    /// only).
+    Slowdown {
+        /// The straggling node.
+        node: usize,
+        /// Multiplier applied to every stage latency from now on.
+        factor: f64,
+    },
+    /// The front-door interconnect degrades: every transfer delay is
+    /// multiplied by `factor` (degradation start at `factor > 1`, end at
+    /// `factor = 1`; chaos layer only).
+    LinkFactor {
+        /// Multiplier applied to every interconnect transfer from now on.
+        factor: f64,
+    },
     /// A request reaches the front door and must be routed.
     Arrival {
         /// The arriving request.
@@ -30,6 +65,20 @@ pub enum EventKind {
         arrival_s: f64,
         /// The delivered request.
         request: Request,
+        /// Whether the request arrives with a migrated KV image and skips
+        /// its Sum stage (chaos KV-migration recovery only; always
+        /// `false` in `simulate_cluster`).
+        warm: bool,
+    },
+    /// A resilience-policy timer (retry timeout or hedge delay) for one
+    /// logical request fires (chaos layer only).
+    Timer {
+        /// The logical request id the timer watches.
+        id: u64,
+        /// The dispatch attempt that armed the timer.
+        attempt: u32,
+        /// `true` for a hedge timer, `false` for a retry timeout.
+        hedge: bool,
     },
     /// A node finished its scheduling round (or was idle and poked) and
     /// should try to run another.
@@ -40,12 +89,20 @@ pub enum EventKind {
 }
 
 impl EventKind {
-    /// Tie-break rank at equal virtual time (lower runs first).
-    fn rank(&self) -> u8 {
+    /// Tie-break rank at equal virtual time (lower runs first). The rank
+    /// is a `u16` so it can never be confused with a node index: node
+    /// identity lives in the payload, and clusters of any size (512+
+    /// nodes) order identically.
+    fn rank(&self) -> u16 {
         match self {
-            EventKind::Arrival { .. } => 0,
-            EventKind::Deliver { .. } => 1,
-            EventKind::NodeReady { .. } => 2,
+            EventKind::NodeDown { .. } => 0,
+            EventKind::NodeUp { .. } => 1,
+            EventKind::Slowdown { .. } => 2,
+            EventKind::LinkFactor { .. } => 3,
+            EventKind::Arrival { .. } => 4,
+            EventKind::Deliver { .. } => 5,
+            EventKind::Timer { .. } => 6,
+            EventKind::NodeReady { .. } => 7,
         }
     }
 }
@@ -145,20 +202,70 @@ mod tests {
         q.push(1.0, EventKind::NodeReady { node: 9 });
         q.push(
             1.0,
-            EventKind::Deliver { node: 1, arrival_s: 0.0, request: Request::new(0, 1, 1) },
+            EventKind::Deliver {
+                node: 1,
+                arrival_s: 0.0,
+                request: Request::new(0, 1, 1),
+                warm: false,
+            },
         );
         q.push(1.0, EventKind::Arrival { request: Request::new(1, 1, 1) });
         q.push(1.0, EventKind::NodeReady { node: 7 });
-        let kinds: Vec<u8> = std::iter::from_fn(|| q.pop())
+        // The observation key is u64-wide: node indices must never be
+        // squeezed through a narrow rank integer (a u8 encoding here
+        // aborted at ≥ 254 nodes).
+        let kinds: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Arrival { .. } => 0,
                 EventKind::Deliver { .. } => 1,
-                EventKind::NodeReady { node } => 2 + u8::try_from(node).unwrap(),
+                EventKind::NodeReady { node } => 2 + node as u64,
+                _ => unreachable!("not pushed in this test"),
             })
             .collect();
         // Arrival first, then the delivery, then node-readies in insertion
         // order (9 before 7).
         assert_eq!(kinds, vec![0, 1, 11, 9]);
+    }
+
+    #[test]
+    fn fault_transitions_run_before_work_at_equal_time() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::NodeReady { node: 0 });
+        q.push(1.0, EventKind::Arrival { request: Request::new(0, 1, 1) });
+        q.push(1.0, EventKind::Timer { id: 0, attempt: 1, hedge: false });
+        q.push(1.0, EventKind::NodeUp { node: 0 });
+        q.push(1.0, EventKind::NodeDown { node: 0 });
+        q.push(1.0, EventKind::LinkFactor { factor: 2.0 });
+        q.push(1.0, EventKind::Slowdown { node: 0, factor: 4.0 });
+        let ranks: Vec<u16> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.kind.rank())
+            .collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ranks, sorted, "fault events must precede work events");
+        assert_eq!(ranks[0], 0, "NodeDown first");
+        assert_eq!(*ranks.last().unwrap(), 7, "NodeReady last");
+    }
+
+    #[test]
+    fn node_ready_ordering_survives_512_nodes() {
+        // Regression: the rank key must not fold node indices into a u8 —
+        // at 512 nodes that panicked and aborted the simulation.
+        let mut q = EventQueue::new();
+        for node in (0..512).rev() {
+            q.push(1.0, EventKind::NodeReady { node });
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::NodeReady { node } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        // Equal time and kind: insertion order (511 down to 0) wins.
+        assert_eq!(popped.len(), 512);
+        assert!(popped.windows(2).all(|w| w[0] == w[1] + 1));
+        assert_eq!(popped[0], 511);
+        assert_eq!(popped[511], 0);
     }
 
     #[test]

@@ -61,9 +61,9 @@ pub mod sim;
 
 pub use event::{Event, EventKind, EventQueue};
 pub use interconnect::InterconnectModel;
-pub use node::{NodeEngine, RoundOutcome};
+pub use node::{CrashedWork, DisplacedRequest, NodeEngine, RoundOutcome};
 pub use report::{ClusterReport, GoodputReport, NodeReport, SloSpec};
-pub use router::{NodeLoad, RouteDecision, Router, RouterPolicy};
+pub use router::{splitmix64, NodeLoad, RouteDecision, Router, RouterPolicy};
 pub use sim::{simulate_cluster, ClusterConfig};
 
 // Re-exported so downstream callers need only this crate for a full run.

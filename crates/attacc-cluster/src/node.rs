@@ -12,6 +12,16 @@
 //! order — which is what makes a 1-node cluster behind a pass-through
 //! router reproduce the single-node report *bit-exactly* (pinned by
 //! `tests/cluster_equivalence.rs` at the workspace root).
+//!
+//! For the `attacc-chaos` fault layer the engine additionally supports
+//! failure semantics: [`NodeEngine::crash`] evicts all queued and active
+//! work (KV state is lost; the displaced requests return to the front
+//! door), [`NodeEngine::set_slowdown`] applies a straggler's
+//! multiplicative latency factor, and [`NodeEngine::deliver_warm`] admits
+//! a request whose KV image was re-migrated so it skips its Sum stage.
+//! All three are float-neutral when unused: a slowdown factor of `1.0`
+//! multiplies latencies by exactly `1.0` (an IEEE identity), and warm
+//! delivery / crash never occur in `simulate_cluster`.
 
 use attacc_model::{Request, RequestState, SequenceStatus};
 use attacc_serving::{SchedulerConfig, StageExecutor};
@@ -28,20 +38,56 @@ pub struct RoundOutcome {
     /// Whether the node abandoned its queue this round (head request can
     /// never fit the KV capacity — the open-loop livelock guard).
     pub abandoned: bool,
+    /// Output tokens produced this round (Sum first-tokens + Gen tokens) —
+    /// the chaos layer's EWMA health signal normalizes round latency by
+    /// this.
+    pub tokens: u64,
+}
+
+/// One request displaced by a [`NodeEngine::crash`]: its KV state is gone
+/// and it must be re-dispatched from the front door.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisplacedRequest {
+    /// Original front-door arrival time (for TTFT accounting after
+    /// re-dispatch).
+    pub arrival_s: f64,
+    /// The request as this node saw it (a re-dispatched request may
+    /// already carry folded-in context in `l_in`).
+    pub request: Request,
+    /// Output tokens this node had already generated for the request
+    /// (0 for requests still queued).
+    pub progress: u64,
+    /// Whether the request was queued for warm (migrated-KV) admission.
+    pub warm: bool,
+}
+
+/// Everything a crash evicted from a node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CrashedWork {
+    /// Displaced requests in deterministic order: admission queue front to
+    /// back, then active requests in admission order.
+    pub displaced: Vec<DisplacedRequest>,
+    /// Output tokens whose KV state the crash destroyed (sum of active
+    /// requests' progress).
+    pub lost_tokens: u64,
 }
 
 /// One serving node: executor, scheduler state, and local metrics.
 pub struct NodeEngine<'a> {
     executor: &'a dyn StageExecutor,
     cfg: SchedulerConfig,
-    /// `(front-door arrival time, request)` in delivery order.
-    queued: VecDeque<(f64, Request)>,
+    /// `(front-door arrival time, request, warm)` in delivery order; warm
+    /// requests carry a migrated KV image and skip their Sum stage.
+    queued: VecDeque<(f64, Request, bool)>,
     /// `(front-door arrival time, state)` for admitted requests.
     active: Vec<(f64, RequestState)>,
     reserved_tokens: u64,
     /// `final_len` of everything queued or active — the committed-KV
     /// figure the router's `LeastKvBytes` policy balances on.
     pledged_tokens: u64,
+    /// Straggler latency multiplier (1.0 = healthy). Applied to every
+    /// stage latency; exactly neutral at 1.0.
+    slowdown: f64,
     // ---- metrics ----
     pub(crate) energy_j: f64,
     pub(crate) tokens: u64,
@@ -59,6 +105,13 @@ pub struct NodeEngine<'a> {
     /// Time-weighted integral of reserved tokens (token·seconds).
     kv_area: f64,
     last_kv_change_s: f64,
+    /// `(request id, time)` of every first token emitted, for the chaos
+    /// layer's per-request TTFT tracking (drained via
+    /// [`NodeEngine::take_first_tokens`]).
+    first_tokens: Vec<(u64, f64)>,
+    /// `(request id, time)` of every retirement, for the chaos layer's
+    /// completion tracking (drained via [`NodeEngine::take_retired`]).
+    retired: Vec<(u64, f64)>,
 }
 
 impl<'a> NodeEngine<'a> {
@@ -76,6 +129,7 @@ impl<'a> NodeEngine<'a> {
             active: Vec::new(),
             reserved_tokens: 0,
             pledged_tokens: 0,
+            slowdown: 1.0,
             energy_j: 0.0,
             tokens: 0,
             completed: 0,
@@ -88,13 +142,24 @@ impl<'a> NodeEngine<'a> {
             kv_timeline: vec![(0.0, 0)],
             kv_area: 0.0,
             last_kv_change_s: 0.0,
+            first_tokens: Vec::new(),
+            retired: Vec::new(),
         }
     }
 
     /// Queues a delivered request (front-door arrival time `arrival_s`).
     pub fn deliver(&mut self, arrival_s: f64, request: Request) {
         self.pledged_tokens += request.final_len();
-        self.queued.push_back((arrival_s, request));
+        self.queued.push_back((arrival_s, request, false));
+    }
+
+    /// Queues a request whose KV image was re-migrated to this node: on
+    /// admission it skips the Sum stage and resumes generating directly
+    /// (`request.l_in` is the migrated context, `request.l_out` the
+    /// remaining output tokens).
+    pub fn deliver_warm(&mut self, arrival_s: f64, request: Request) {
+        self.pledged_tokens += request.final_len();
+        self.queued.push_back((arrival_s, request, true));
     }
 
     /// Requests waiting for admission.
@@ -127,6 +192,70 @@ impl<'a> NodeEngine<'a> {
         self.pledged_tokens
     }
 
+    /// Sets the straggler latency multiplier (1.0 restores full speed).
+    /// Takes effect from the next round; a factor of exactly 1.0 is
+    /// float-neutral.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slowdown factor must be finite and positive, got {factor}"
+        );
+        self.slowdown = factor;
+    }
+
+    /// The current straggler latency multiplier.
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Output tokens produced so far.
+    #[must_use]
+    pub fn tokens_produced(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Drains the `(request id, time)` log of first tokens emitted since
+    /// the last call.
+    pub fn take_first_tokens(&mut self) -> Vec<(u64, f64)> {
+        std::mem::take(&mut self.first_tokens)
+    }
+
+    /// Drains the `(request id, time)` log of retirements since the last
+    /// call.
+    pub fn take_retired(&mut self) -> Vec<(u64, f64)> {
+        std::mem::take(&mut self.retired)
+    }
+
+    /// Crashes the node at `now`: every queued and active request loses
+    /// its KV state and is returned for front-door re-dispatch, and the
+    /// KV reservation drops to zero. Capacity is restored by simply
+    /// resuming `run_round` calls after recovery — state is not.
+    pub fn crash(&mut self, now: f64) -> CrashedWork {
+        let mut work = CrashedWork::default();
+        for (arrival_s, request, warm) in self.queued.drain(..) {
+            work.displaced.push(DisplacedRequest { arrival_s, request, progress: 0, warm });
+        }
+        for (arrival_s, state) in self.active.drain(..) {
+            work.lost_tokens += state.generated;
+            work.displaced.push(DisplacedRequest {
+                arrival_s,
+                request: state.request,
+                progress: state.generated,
+                warm: false,
+            });
+        }
+        if self.reserved_tokens > 0 || self.pledged_tokens > 0 {
+            self.reserved_tokens = 0;
+            self.pledged_tokens = 0;
+            self.record_kv(now);
+        }
+        work
+    }
+
     fn record_kv(&mut self, now: f64) {
         let prev = self.kv_timeline.last().map_or(0, |&(_, v)| v);
         self.kv_area += prev as f64 * (now - self.last_kv_change_s);
@@ -151,6 +280,7 @@ impl<'a> NodeEngine<'a> {
     pub fn run_round(&mut self, now: f64) -> RoundOutcome {
         let start = now;
         let mut now = now;
+        let tokens_before = self.tokens;
 
         let fits = |reserved: u64, cfg: &SchedulerConfig, req: &Request| -> bool {
             if cfg.kv_bytes_per_token == 0 {
@@ -161,11 +291,14 @@ impl<'a> NodeEngine<'a> {
         };
 
         // Admit (FCFS in delivery order, head-blocking on capacity —
-        // exactly simulate_open_loop's admission loop).
+        // exactly simulate_open_loop's admission loop). Warm requests
+        // resume generating without a Sum stage: their KV image arrived
+        // with them.
         let mut admitted: Vec<(u64, u64)> = Vec::new();
+        let mut admitted_warm = false;
         let mut kv_changed = false;
         while (self.active.len() as u64) < self.cfg.max_batch {
-            let Some(&(arrival, req)) = self.queued.front() else { break };
+            let Some(&(arrival, req, warm)) = self.queued.front() else { break };
             if !fits(self.reserved_tokens, &self.cfg, &req) {
                 break;
             }
@@ -173,10 +306,20 @@ impl<'a> NodeEngine<'a> {
             self.reserved_tokens += req.final_len();
             kv_changed = true;
             self.queue_wait.push(now - arrival);
-            self.active.push((arrival, RequestState::admitted(req)));
-            match admitted.iter_mut().find(|(_, l)| *l == req.l_in) {
-                Some((c, _)) => *c += 1,
-                None => admitted.push((1, req.l_in)),
+            if warm {
+                let state = RequestState {
+                    request: req,
+                    generated: 0,
+                    status: SequenceStatus::Generating,
+                };
+                self.active.push((arrival, state));
+                admitted_warm = true;
+            } else {
+                self.active.push((arrival, RequestState::admitted(req)));
+                match admitted.iter_mut().find(|(_, l)| *l == req.l_in) {
+                    Some((c, _)) => *c += 1,
+                    None => admitted.push((1, req.l_in)),
+                }
             }
         }
         if kv_changed {
@@ -186,7 +329,7 @@ impl<'a> NodeEngine<'a> {
         // Prefill the admissions.
         for &(c, l_in) in &admitted {
             let cost = self.executor.sum_stage(c, l_in);
-            now += cost.latency_s;
+            now += cost.latency_s * self.slowdown;
             self.energy_j += cost.energy_j;
         }
         for (arrival, s) in
@@ -195,6 +338,7 @@ impl<'a> NodeEngine<'a> {
             self.tokens += 1;
             self.ttft.push(now - *arrival);
             self.ttft_tokens.push(s.request.l_out);
+            self.first_tokens.push((s.request.id, now));
             let _ = s.complete_stage();
         }
 
@@ -209,9 +353,10 @@ impl<'a> NodeEngine<'a> {
         }
         if !groups.is_empty() {
             let cost = self.executor.gen_stage(&groups);
-            now += cost.latency_s;
+            let latency = cost.latency_s * self.slowdown;
+            now += latency;
             self.energy_j += cost.energy_j;
-            self.tbt.push(cost.latency_s);
+            self.tbt.push(latency);
             for (_, s) in
                 self.active.iter_mut().filter(|(_, s)| s.status == SequenceStatus::Generating)
             {
@@ -221,38 +366,43 @@ impl<'a> NodeEngine<'a> {
         }
 
         // Retire.
-        let mut retired = false;
-        let (reserved, completed, pledged) =
-            (&mut self.reserved_tokens, &mut self.completed, &mut self.pledged_tokens);
+        let mut retired_any = false;
+        let (reserved, completed, pledged, retired) = (
+            &mut self.reserved_tokens,
+            &mut self.completed,
+            &mut self.pledged_tokens,
+            &mut self.retired,
+        );
         self.active.retain(|(_, s)| {
             if s.status == SequenceStatus::Finished {
                 *reserved -= s.request.final_len();
                 *pledged -= s.request.final_len();
                 *completed += 1;
-                retired = true;
+                retired.push((s.request.id, now));
+                retired_any = true;
                 false
             } else {
                 true
             }
         });
-        if retired {
+        if retired_any {
             self.record_kv(now);
         }
 
-        let worked = !groups.is_empty() || !admitted.is_empty();
+        let worked = !groups.is_empty() || !admitted.is_empty() || admitted_warm;
         let mut abandoned = false;
         if !worked && self.active.is_empty() && !self.queued.is_empty() {
             // The queue head can never fit: abandon the queue to avoid
             // livelock (the open-loop simulator's break).
             self.abandoned += self.queued.len() as u64;
-            self.pledged_tokens -= self.queued.iter().map(|(_, r)| r.final_len()).sum::<u64>();
+            self.pledged_tokens -= self.queued.iter().map(|(_, r, _)| r.final_len()).sum::<u64>();
             self.queued.clear();
             abandoned = true;
         }
         if worked {
             self.busy_s += now - start;
         }
-        RoundOutcome { end_s: now, worked, abandoned }
+        RoundOutcome { end_s: now, worked, abandoned, tokens: self.tokens - tokens_before }
     }
 }
 
@@ -281,6 +431,7 @@ mod tests {
         while !node.is_drained() {
             let out = node.run_round(t);
             assert!(out.worked);
+            assert!(out.tokens > 0);
             t = out.end_s;
             rounds += 1;
         }
@@ -293,6 +444,9 @@ mod tests {
         assert_eq!(node.tbt.len(), 2);
         assert!(node.busy_s > 0.0);
         assert_eq!(node.reserved_tokens(), 0);
+        assert_eq!(node.take_first_tokens().len(), 1);
+        assert_eq!(node.take_retired(), vec![(0, t)]);
+        assert!(node.take_retired().is_empty(), "drained log stays drained");
     }
 
     #[test]
@@ -324,5 +478,71 @@ mod tests {
         assert_eq!(node.kv_timeline.first().unwrap().1, 0);
         assert!(node.kv_timeline.iter().any(|&(_, v)| v == 10));
         assert_eq!(node.kv_timeline.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn crash_displaces_queue_and_active_and_zeroes_kv() {
+        let mut node = NodeEngine::new(&Toy, SchedulerConfig::unlimited(1));
+        node.deliver(0.0, Request::new(0, 16, 8));
+        node.deliver(0.1, Request::new(1, 16, 8));
+        // One round: request 0 admitted and 2 tokens in, request 1 queued.
+        let out = node.run_round(0.2);
+        assert!(out.worked);
+        let wreck = node.crash(out.end_s);
+        assert_eq!(wreck.displaced.len(), 2);
+        // Queue front first, then active.
+        assert_eq!(wreck.displaced[0].request.id, 1);
+        assert_eq!(wreck.displaced[0].progress, 0);
+        assert_eq!(wreck.displaced[1].request.id, 0);
+        assert_eq!(wreck.displaced[1].progress, 2);
+        assert_eq!(wreck.lost_tokens, 2);
+        assert!(node.is_drained());
+        assert_eq!(node.reserved_tokens(), 0);
+        assert_eq!(node.pledged_tokens(), 0);
+        assert_eq!(node.kv_timeline.last().unwrap().1, 0);
+        // Metrics survive the crash: the 2 produced tokens happened.
+        assert_eq!(node.tokens, 2);
+    }
+
+    #[test]
+    fn slowdown_scales_round_latency() {
+        let mut fast = NodeEngine::new(&Toy, SchedulerConfig::unlimited(4));
+        let mut slow = NodeEngine::new(&Toy, SchedulerConfig::unlimited(4));
+        slow.set_slowdown(3.0);
+        fast.deliver(0.0, Request::new(0, 16, 4));
+        slow.deliver(0.0, Request::new(0, 16, 4));
+        let f = fast.run_round(0.0);
+        let s = slow.run_round(0.0);
+        assert!((s.end_s - 3.0 * f.end_s).abs() < 1e-12, "3x straggler takes 3x the round");
+        // Energy is unchanged — stragglers are slow, not hungry.
+        assert_eq!(fast.energy_j, slow.energy_j);
+    }
+
+    #[test]
+    fn warm_delivery_skips_sum_stage() {
+        let mut node = NodeEngine::new(&Toy, SchedulerConfig::unlimited(4));
+        // 20 tokens of context already computed elsewhere, 3 to go.
+        node.deliver_warm(0.0, Request::new(7, 20, 3));
+        let out = node.run_round(0.0);
+        assert!(out.worked);
+        // No Sum ran: no TTFT sample, no first-token record, and the
+        // round produced exactly one Gen token.
+        assert!(node.ttft.is_empty());
+        assert!(node.take_first_tokens().is_empty());
+        assert_eq!(out.tokens, 1);
+        let mut t = out.end_s;
+        while !node.is_drained() {
+            t = node.run_round(t).end_s;
+        }
+        assert_eq!(node.tokens, 3);
+        assert_eq!(node.completed, 1);
+        assert_eq!(node.take_retired(), vec![(7, t)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn non_finite_slowdown_rejected() {
+        let mut node = NodeEngine::new(&Toy, SchedulerConfig::unlimited(1));
+        node.set_slowdown(f64::INFINITY);
     }
 }

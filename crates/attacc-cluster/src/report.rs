@@ -98,6 +98,91 @@ pub struct ClusterReport {
 }
 
 impl ClusterReport {
+    /// Aggregates per-node engine state into the cluster report, in node
+    /// order so the 1-node projection is the identity. This is the single
+    /// aggregation path shared by `simulate_cluster` and the chaos layer:
+    /// identical inputs produce bit-identical reports because the float
+    /// accumulation order is fixed here, once.
+    #[must_use]
+    pub fn from_engines(
+        policy_name: &str,
+        engines: &mut [crate::node::NodeEngine<'_>],
+        makespan_s: f64,
+        slo: &SloSpec,
+    ) -> ClusterReport {
+        let mut ttft = Vec::new();
+        let mut ttft_tokens = Vec::new();
+        let mut tbt = Vec::new();
+        let mut queue_wait = Vec::new();
+        let mut energy = 0.0f64;
+        let mut tokens = 0u64;
+        let mut completed = 0u64;
+        let mut abandoned = 0u64;
+        for e in engines.iter() {
+            ttft.extend_from_slice(&e.ttft);
+            ttft_tokens.extend_from_slice(&e.ttft_tokens);
+            tbt.extend_from_slice(&e.tbt);
+            queue_wait.extend_from_slice(&e.queue_wait);
+            energy += e.energy_j;
+            tokens += e.tokens;
+            completed += e.completed;
+            abandoned += e.abandoned;
+        }
+
+        let tbt_stats = LatencyStats::from_samples(tbt);
+        let mut requests_in_slo = 0u64;
+        let mut goodput_tokens = 0u64;
+        for (t, &l_out) in ttft.iter().zip(&ttft_tokens) {
+            if *t <= slo.ttft_s {
+                requests_in_slo += 1;
+                goodput_tokens += l_out;
+            }
+        }
+        let goodput = GoodputReport {
+            requests_in_slo,
+            goodput_tokens_per_s: if makespan_s > 0.0 {
+                goodput_tokens as f64 / makespan_s
+            } else {
+                0.0
+            },
+            tbt_p99_in_slo: tbt_stats.p99_s <= slo.tbt_s,
+        };
+
+        let nodes: Vec<NodeReport> = engines
+            .iter_mut()
+            .enumerate()
+            .map(|(i, e)| {
+                let (peak, mean) = e.finish_kv(makespan_s);
+                NodeReport {
+                    node: i,
+                    completed: e.completed,
+                    abandoned: e.abandoned,
+                    tokens: e.tokens,
+                    busy_s: e.busy_s,
+                    utilization: if makespan_s > 0.0 { e.busy_s / makespan_s } else { 0.0 },
+                    energy_j: e.energy_j,
+                    peak_kv_tokens: peak,
+                    mean_kv_tokens: mean,
+                    kv_timeline: e.kv_timeline.clone(),
+                }
+            })
+            .collect();
+
+        ClusterReport {
+            policy: policy_name.to_string(),
+            completed,
+            abandoned,
+            makespan_s,
+            energy_j: energy,
+            tokens_per_s: if makespan_s > 0.0 { tokens as f64 / makespan_s } else { 0.0 },
+            ttft: LatencyStats::from_samples(ttft),
+            tbt: tbt_stats,
+            queue_wait: LatencyStats::from_samples(queue_wait),
+            goodput,
+            nodes,
+        }
+    }
+
     /// Projects the cluster run onto the single-node open-loop report
     /// shape. For a 1-node cluster behind a pass-through router over an
     /// ideal interconnect this equals [`attacc_serving::simulate_open_loop`]'s

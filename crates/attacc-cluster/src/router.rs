@@ -87,14 +87,21 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-fn argmin_by<F: Fn(&NodeLoad) -> u64>(loads: &[NodeLoad], key: F) -> usize {
-    let mut best = 0usize;
-    for (i, load) in loads.iter().enumerate().skip(1) {
-        if key(load) < key(&loads[best]) {
-            best = i;
+/// Lowest-index argmin over the eligible nodes. `eligible` must contain at
+/// least one `true`.
+fn argmin_among<F: Fn(&NodeLoad) -> u64>(loads: &[NodeLoad], eligible: &[bool], key: F) -> usize {
+    let mut best: Option<usize> = None;
+    for (i, load) in loads.iter().enumerate() {
+        if !eligible[i] {
+            continue;
+        }
+        match best {
+            Some(b) if key(load) < key(&loads[b]) => best = Some(i),
+            None => best = Some(i),
+            _ => {}
         }
     }
-    best
+    best.expect("at least one eligible node")
 }
 
 impl Router {
@@ -116,24 +123,61 @@ impl Router {
     /// Panics if `loads` is empty.
     pub fn route(&mut self, id: u64, loads: &[NodeLoad]) -> RouteDecision {
         assert!(!loads.is_empty(), "cluster needs at least one node");
+        let all = vec![true; loads.len()];
+        self.route_among(id, loads, &all)
+    }
+
+    /// Picks a destination for request `id` among the nodes whose
+    /// `eligible` flag is `true` (health-aware routing: down and degraded
+    /// nodes are masked out by the chaos layer). With an all-`true` mask
+    /// this is exactly [`Router::route`].
+    ///
+    /// Eligible-set semantics per policy:
+    /// - pass-through: lowest eligible index;
+    /// - round-robin: next eligible node at or after the cursor;
+    /// - JSQ / least-KV: argmin over eligible nodes, low index on ties;
+    /// - session-affinity: the home node is the `splitmix64(id) % k`-th
+    ///   *eligible* node in ascending index order (`k` = eligible count),
+    ///   so a session remaps deterministically — and returns home — as
+    ///   the healthy set shrinks and regrows.
+    ///
+    /// # Panics
+    /// Panics if `loads` is empty, `eligible.len() != loads.len()`, or no
+    /// node is eligible.
+    pub fn route_among(&mut self, id: u64, loads: &[NodeLoad], eligible: &[bool]) -> RouteDecision {
+        assert!(!loads.is_empty(), "cluster needs at least one node");
+        assert_eq!(eligible.len(), loads.len(), "one eligibility flag per node");
+        let k = eligible.iter().filter(|&&e| e).count();
+        assert!(k > 0, "at least one node must be eligible");
         let n = loads.len();
         match self.policy {
-            RouterPolicy::PassThrough => RouteDecision { node: 0, migrated: false },
+            RouterPolicy::PassThrough => {
+                let node = (0..n).find(|&i| eligible[i]).expect("eligible node exists");
+                RouteDecision { node, migrated: false }
+            }
             RouterPolicy::RoundRobin => {
-                let node = self.rr_next;
-                self.rr_next = (self.rr_next + 1) % n;
+                let mut node = self.rr_next % n;
+                while !eligible[node] {
+                    node = (node + 1) % n;
+                }
+                self.rr_next = (node + 1) % n;
                 RouteDecision { node, migrated: false }
             }
             RouterPolicy::JoinShortestQueue => {
-                RouteDecision { node: argmin_by(loads, |l| l.backlog), migrated: false }
+                RouteDecision { node: argmin_among(loads, eligible, |l| l.backlog), migrated: false }
             }
-            RouterPolicy::LeastKvBytes => {
-                RouteDecision { node: argmin_by(loads, |l| l.kv_tokens), migrated: false }
-            }
+            RouterPolicy::LeastKvBytes => RouteDecision {
+                node: argmin_among(loads, eligible, |l| l.kv_tokens),
+                migrated: false,
+            },
             RouterPolicy::SessionAffinity { spill_backlog } => {
-                let home = usize::try_from(splitmix64(id) % n as u64).expect("node fits usize");
+                let pick = usize::try_from(splitmix64(id) % k as u64).expect("node fits usize");
+                let home = (0..n)
+                    .filter(|&i| eligible[i])
+                    .nth(pick)
+                    .expect("pick is within eligible count");
                 if loads[home].backlog > spill_backlog {
-                    let node = argmin_by(loads, |l| l.backlog);
+                    let node = argmin_among(loads, eligible, |l| l.backlog);
                     RouteDecision { node, migrated: node != home }
                 } else {
                     RouteDecision { node: home, migrated: false }
@@ -201,6 +245,61 @@ mod tests {
         let mut r = Router::new(RouterPolicy::PassThrough);
         let view = loads(&[9, 0]);
         assert!((0..10).all(|i| r.route(i, &view).node == 0));
+    }
+
+    #[test]
+    fn route_among_skips_ineligible_nodes() {
+        let view = loads(&[0, 0, 0, 0]);
+        let mask = [true, false, true, false];
+        let mut rr = Router::new(RouterPolicy::RoundRobin);
+        let picks: Vec<usize> = (0..4).map(|i| rr.route_among(i, &view, &mask).node).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2], "round-robin cycles eligible nodes only");
+        let mut jsq = Router::new(RouterPolicy::JoinShortestQueue);
+        let hot = loads(&[5, 0, 3, 0]);
+        assert_eq!(jsq.route_among(0, &hot, &mask).node, 2, "node 1 is down despite backlog 0");
+        let mut pt = Router::new(RouterPolicy::PassThrough);
+        assert_eq!(pt.route_among(0, &view, &[false, true, true, true]).node, 1);
+    }
+
+    #[test]
+    fn route_among_all_true_matches_route() {
+        for policy in [
+            RouterPolicy::PassThrough,
+            RouterPolicy::RoundRobin,
+            RouterPolicy::JoinShortestQueue,
+            RouterPolicy::LeastKvBytes,
+            RouterPolicy::SessionAffinity { spill_backlog: 1 },
+        ] {
+            let mut a = Router::new(policy);
+            let mut b = Router::new(policy);
+            let view = loads(&[3, 1, 2, 0, 2]);
+            let all = [true; 5];
+            for id in 0..64 {
+                assert_eq!(
+                    a.route(id, &view),
+                    b.route_among(id, &view, &all),
+                    "policy {} id {id}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_remaps_deterministically_when_healthy_set_shrinks() {
+        let mut r = Router::new(RouterPolicy::SessionAffinity { spill_backlog: 100 });
+        let view = loads(&[0, 0, 0, 0]);
+        let full = [true; 4];
+        let home = r.route_among(7, &view, &full).node;
+        // Take the home node down: the session lands on an eligible node,
+        // the same one every time.
+        let mut mask = full;
+        mask[home] = false;
+        let remapped = r.route_among(7, &view, &mask).node;
+        assert_ne!(remapped, home);
+        assert_eq!(r.route_among(7, &view, &mask).node, remapped);
+        // Healthy again: the session returns to its original home.
+        assert_eq!(r.route_among(7, &view, &full).node, home);
     }
 
     #[test]

@@ -12,9 +12,9 @@
 use crate::event::{EventKind, EventQueue};
 use crate::interconnect::InterconnectModel;
 use crate::node::NodeEngine;
-use crate::report::{ClusterReport, GoodputReport, NodeReport, SloSpec};
+use crate::report::{ClusterReport, SloSpec};
 use crate::router::{NodeLoad, Router, RouterPolicy};
-use attacc_serving::{ArrivalWorkload, LatencyStats, SchedulerConfig, StageExecutor};
+use attacc_serving::{ArrivalWorkload, SchedulerConfig, StageExecutor};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
@@ -116,10 +116,15 @@ pub fn simulate_cluster(
                 in_flight_tokens[decision.node] += request.final_len();
                 q.push(
                     ev.time_s + delay,
-                    EventKind::Deliver { node: decision.node, arrival_s: ev.time_s, request },
+                    EventKind::Deliver {
+                        node: decision.node,
+                        arrival_s: ev.time_s,
+                        request,
+                        warm: false,
+                    },
                 );
             }
-            EventKind::Deliver { node, arrival_s, request } => {
+            EventKind::Deliver { node, arrival_s, request, warm: _ } => {
                 in_flight[node] -= 1;
                 in_flight_tokens[node] -= request.final_len();
                 engines[node].deliver(arrival_s, request);
@@ -141,77 +146,20 @@ pub fn simulate_cluster(
                     q.push(out.end_s, EventKind::NodeReady { node });
                 }
             }
-        }
-    }
-
-    // Aggregate in node order so the 1-node projection is the identity.
-    let mut ttft = Vec::new();
-    let mut ttft_tokens = Vec::new();
-    let mut tbt = Vec::new();
-    let mut queue_wait = Vec::new();
-    let mut energy = 0.0f64;
-    let mut tokens = 0u64;
-    let mut completed = 0u64;
-    let mut abandoned = 0u64;
-    for e in &engines {
-        ttft.extend_from_slice(&e.ttft);
-        ttft_tokens.extend_from_slice(&e.ttft_tokens);
-        tbt.extend_from_slice(&e.tbt);
-        queue_wait.extend_from_slice(&e.queue_wait);
-        energy += e.energy_j;
-        tokens += e.tokens;
-        completed += e.completed;
-        abandoned += e.abandoned;
-    }
-
-    let tbt_stats = LatencyStats::from_samples(tbt);
-    let mut requests_in_slo = 0u64;
-    let mut goodput_tokens = 0u64;
-    for (t, &l_out) in ttft.iter().zip(&ttft_tokens) {
-        if *t <= cfg.slo.ttft_s {
-            requests_in_slo += 1;
-            goodput_tokens += l_out;
-        }
-    }
-    let goodput = GoodputReport {
-        requests_in_slo,
-        goodput_tokens_per_s: if makespan > 0.0 { goodput_tokens as f64 / makespan } else { 0.0 },
-        tbt_p99_in_slo: tbt_stats.p99_s <= cfg.slo.tbt_s,
-    };
-
-    let node_reports: Vec<NodeReport> = engines
-        .iter_mut()
-        .enumerate()
-        .map(|(i, e)| {
-            let (peak, mean) = e.finish_kv(makespan);
-            NodeReport {
-                node: i,
-                completed: e.completed,
-                abandoned: e.abandoned,
-                tokens: e.tokens,
-                busy_s: e.busy_s,
-                utilization: if makespan > 0.0 { e.busy_s / makespan } else { 0.0 },
-                energy_j: e.energy_j,
-                peak_kv_tokens: peak,
-                mean_kv_tokens: mean,
-                kv_timeline: e.kv_timeline.clone(),
+            // Fault transitions and resilience timers are only ever
+            // pushed by the attacc-chaos layer, which runs its own event
+            // loop; this fault-free driver never emits them.
+            EventKind::NodeDown { .. }
+            | EventKind::NodeUp { .. }
+            | EventKind::Slowdown { .. }
+            | EventKind::LinkFactor { .. }
+            | EventKind::Timer { .. } => {
+                unreachable!("chaos events cannot appear in simulate_cluster")
             }
-        })
-        .collect();
-
-    ClusterReport {
-        policy: cfg.policy.name().to_string(),
-        completed,
-        abandoned,
-        makespan_s: makespan,
-        energy_j: energy,
-        tokens_per_s: if makespan > 0.0 { tokens as f64 / makespan } else { 0.0 },
-        ttft: LatencyStats::from_samples(ttft),
-        tbt: tbt_stats,
-        queue_wait: LatencyStats::from_samples(queue_wait),
-        goodput,
-        nodes: node_reports,
+        }
     }
+
+    ClusterReport::from_engines(cfg.policy.name(), &mut engines, makespan, &cfg.slo)
 }
 
 #[cfg(test)]

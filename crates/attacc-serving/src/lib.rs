@@ -36,6 +36,7 @@ pub mod arrivals;
 pub mod capacity;
 pub mod metrics;
 pub mod pipeline;
+pub mod resilience;
 pub mod scheduler;
 pub mod slo;
 pub mod trace;
@@ -45,6 +46,7 @@ pub use arrivals::{simulate_open_loop, ArrivalWorkload, LatencyStats, OpenLoopRe
 pub use capacity::max_batch_by_capacity;
 pub use metrics::ServingReport;
 pub use pipeline::{ff_coprocess_speedup, head_level_pipelined_s, serial_s, DecoderPhases};
+pub use resilience::RetryPolicy;
 pub use scheduler::{
     simulate, simulate_with_policy, AdmissionPolicy, SchedulerConfig, StageCost, StageExecutor,
 };

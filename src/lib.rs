@@ -17,6 +17,7 @@
 //! | [`serving`] | `attacc-serving` | Scheduler, SLO search, pipelining |
 //! | [`sim`] | `attacc-sim` | Platforms, executors, per-figure drivers |
 //! | [`cluster`] | `attacc-cluster` | Multi-node discrete-event serving simulator |
+//! | [`chaos`] | `attacc-chaos` | Fault injection + resilience policies over the cluster |
 //!
 //! # Quickstart
 //!
@@ -36,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use attacc_chaos as chaos;
 pub use attacc_cluster as cluster;
 pub use attacc_hbm as hbm;
 pub use attacc_model as model;

@@ -1,0 +1,66 @@
+//! Acceptance tests for the chaos subsystem's headline claims.
+//!
+//! The `chaos_sim` sweep is the evidence that the fault model and the
+//! resilience policies interact the way the docs say they do. These
+//! tests pin the two claims on the exact cells the binary prints (at a
+//! reduced request count):
+//!
+//! 1. with resilience **off**, goodput under failure degrades
+//!    monotonically as the per-node crash MTBF shrinks, and
+//! 2. the full retry + hedge + health + KV-migration stack wins a
+//!    measurable share of it back at every failure rate.
+
+use attacc::chaos::ResiliencePolicy;
+use attacc::cluster::RouterPolicy;
+use attacc::model::ModelConfig;
+use attacc_bench::{chaos_cell, chaos_policies};
+
+/// The binary's own `CHAOS_REQUESTS`: the claims are about the shipped
+/// sweep, so the test runs the exact cells `chaos_sim` prints.
+const N: u64 = attacc_bench::CHAOS_REQUESTS;
+
+fn goodput(policy: ResiliencePolicy, mtbf_s: f64) -> f64 {
+    let model = ModelConfig::gpt3_175b();
+    chaos_cell(&model, 4, RouterPolicy::JoinShortestQueue, policy, mtbf_s, N)
+        .goodput_tokens_per_s
+}
+
+/// The MTBF axis the `chaos_sim` frontier sweeps.
+const MTBFS: [f64; 4] = [f64::INFINITY, 60.0, 20.0, 6.0];
+
+#[test]
+fn goodput_degrades_monotonically_without_resilience() {
+    let ladder = chaos_policies();
+    let blind: Vec<f64> = MTBFS.iter().map(|&m| goodput(ladder[0], m)).collect();
+    for pair in blind.windows(2) {
+        assert!(
+            pair[0] >= pair[1],
+            "blind goodput must not improve as MTBF shrinks: {blind:?}"
+        );
+    }
+    assert!(
+        blind[0] > blind[MTBFS.len() - 1] * 1.05,
+        "the deepest failure rate must cost noticeably more than none: {blind:?}"
+    );
+}
+
+#[test]
+fn retry_and_hedging_win_goodput_back() {
+    let ladder = chaos_policies();
+    let (off, full) = (ladder[0], ladder[3]);
+    for &mtbf in &MTBFS[1..] {
+        let blind = goodput(off, mtbf);
+        let resilient = goodput(full, mtbf);
+        assert!(
+            resilient > blind,
+            "full stack must beat blind at MTBF {mtbf}: {resilient} vs {blind}"
+        );
+    }
+    // And at the deepest point the recovery is substantial, not noise.
+    let deepest = MTBFS[MTBFS.len() - 1];
+    let (blind, resilient) = (goodput(off, deepest), goodput(full, deepest));
+    assert!(
+        resilient > blind * 1.05,
+        "recovery at MTBF {deepest} should be well over 5 %: {resilient} vs {blind}"
+    );
+}

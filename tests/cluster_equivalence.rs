@@ -104,6 +104,73 @@ fn cluster_report_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn chaos_wrapper_with_zero_faults_is_bit_exact_with_cluster() {
+    use attacc::chaos::{simulate_chaos, ChaosConfig, FaultSchedule};
+    use attacc::cluster::RouterPolicy;
+
+    // The same golden workloads as the 1-node parity cases, on a 3-node
+    // cluster under every router policy: an empty fault schedule and the
+    // inert resilience policy must leave simulate_cluster's report
+    // untouched — same floats, not just close floats.
+    let w = ArrivalWorkload::poisson(80, 120.0, 48, (4, 24), 17);
+    let toys = [Toy, Toy, Toy];
+    let nodes: Vec<&dyn StageExecutor> = toys.iter().map(|t| t as &dyn StageExecutor).collect();
+    for policy in [
+        RouterPolicy::PassThrough,
+        RouterPolicy::RoundRobin,
+        RouterPolicy::JoinShortestQueue,
+        RouterPolicy::LeastKvBytes,
+        RouterPolicy::SessionAffinity { spill_backlog: 4 },
+    ] {
+        let cfg = ClusterConfig {
+            policy,
+            ..ClusterConfig::pass_through(SchedulerConfig::unlimited(8))
+        };
+        let base = simulate_cluster(&nodes, &w, &cfg);
+        let chaos = simulate_chaos(&nodes, &w, &ChaosConfig::inert(cfg), &FaultSchedule::none());
+        assert_eq!(
+            chaos.cluster, base,
+            "zero-fault chaos run diverged from simulate_cluster under {}",
+            policy.name()
+        );
+        assert_eq!(chaos.faults_injected, 0);
+        assert_eq!(chaos.availability, 1.0);
+        assert_eq!((chaos.retries, chaos.hedges, chaos.lost_tokens), (0, 0, 0));
+    }
+}
+
+#[test]
+fn chaos_report_is_byte_identical_across_thread_counts() {
+    // A *faulty* fixed-seed run this time: the frontier sweeps real crash
+    // schedules, so this pins fault injection, recovery dispatch, retry
+    // jitter and EWMA health state to byte-identical output at any
+    // parallelism.
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    engine::set_threads(1);
+    let serial = attacc_bench::chaos_goodput_frontier(24).to_string();
+    for threads in [2, 8] {
+        engine::set_threads(threads);
+        let parallel = attacc_bench::chaos_goodput_frontier(24).to_string();
+        assert_eq!(
+            serial, parallel,
+            "chaos frontier changed between 1 and {threads} threads"
+        );
+    }
+    engine::set_threads(0); // restore env-resolved default
+}
+
+#[test]
+fn chaos_report_is_byte_identical_cold_and_warm_cache() {
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    let cache = TimingCache::global();
+    cache.clear();
+    cache.reset_stats();
+    let cold = attacc_bench::chaos_routing_matrix(24).to_string();
+    let warm = attacc_bench::chaos_routing_matrix(24).to_string();
+    assert_eq!(cold, warm, "cache hits changed the chaos routing matrix");
+}
+
+#[test]
 fn cluster_report_is_byte_identical_cold_and_warm_cache() {
     let _guard = ENGINE_LOCK.lock().expect("engine lock");
     let cache = TimingCache::global();

@@ -141,3 +141,17 @@ fn golden_cluster() {
         ],
     );
 }
+
+#[test]
+fn golden_chaos() {
+    // Smaller than the binary's CHAOS_REQUESTS: the snapshot pins fault
+    // injection, recovery dispatch and retry/hedge bookkeeping, not the
+    // headline goodput numbers (tests/chaos_resilience.rs pins those).
+    check(
+        "chaos",
+        &[
+            attacc_bench::chaos_goodput_frontier(48),
+            attacc_bench::chaos_routing_matrix(48),
+        ],
+    );
+}
