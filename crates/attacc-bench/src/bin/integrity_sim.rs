@@ -1,0 +1,13 @@
+//! Prints the data-integrity experiments: the SDC/DUE/goodput frontier
+//! (BER × protection rung: raw cells, SEC-DED, SEC-DED + ABFT + guards)
+//! and the on-die ECC command-engine overhead table. Pass `--serial` to
+//! pin the sweep engine to one thread (or set `ATTACC_THREADS`),
+//! `--quiet` to suppress the stderr stats footer.
+fn main() {
+    attacc_bench::harness::run("integrity_sim", || {
+        vec![
+            attacc_bench::integrity_frontier(attacc_bench::INTEGRITY_REQUESTS),
+            attacc_bench::ecc_overhead_table(),
+        ]
+    });
+}

@@ -12,8 +12,8 @@
 #![warn(missing_docs)]
 
 use attacc_chaos::{
-    simulate_chaos, ChaosConfig, ChaosReport, FaultSchedule, FaultSpec, HealthConfig,
-    RecoveryMode, ResiliencePolicy,
+    simulate_chaos, simulate_integrity, ChaosConfig, ChaosReport, CorruptionSpec, FaultSchedule,
+    FaultSpec, HealthConfig, IntegrityReport, Protection, RecoveryMode, ResiliencePolicy,
 };
 use attacc_cluster::{
     simulate_cluster, ClusterConfig, InterconnectModel, RouterPolicy, SloSpec,
@@ -906,6 +906,154 @@ pub fn chaos_routing_matrix(n_requests: u64) -> Table {
         let mut row = vec![router.name().to_string(), policy.name()];
         row.extend(chaos_row(n_requests, r));
         t.push_row(row);
+    }
+    t
+}
+
+/// Requests per integrity-simulation cell (below [`CHAOS_REQUESTS`]:
+/// each cell replays a full chaos run *and* samples a fate for every
+/// generated token).
+pub const INTEGRITY_REQUESTS: u64 = 128;
+
+/// The BER axis the integrity sweeps walk (per stored bit per read).
+/// Zero anchors the bit-exactness contract; the rest bracket the regime
+/// where SEC-DED saturates and DUEs become visible at token scale.
+pub const INTEGRITY_BERS: [f64; 4] = [0.0, 1e-9, 1e-8, 1e-7];
+
+/// 128-bit data words each generated token streams through the
+/// attention path: the full KV cache of a 2,048-token context at this
+/// model's bytes-per-token.
+#[must_use]
+pub fn integrity_words_per_token(model: &ModelConfig) -> u64 {
+    KvCacheSpec::of(model).bytes_per_token * 2048 / 16
+}
+
+/// One integrity sweep cell: a 2-node chaos run (mild crash pressure,
+/// retrying policy) under the given BER and protection rung. Fully
+/// deterministic — fixed seeds everywhere.
+#[must_use]
+pub fn integrity_cell(
+    model: &ModelConfig,
+    ber: f64,
+    protection: Protection,
+    n_requests: u64,
+) -> IntegrityReport {
+    let n_nodes = 2usize;
+    let execs: Vec<SystemExecutor> =
+        (0..n_nodes).map(|_| SystemExecutor::new(System::dgx_attacc_full(), model)).collect();
+    let refs: Vec<&dyn StageExecutor> = execs.iter().map(|e| e as &dyn StageExecutor).collect();
+    let workload = ArrivalWorkload::poisson(n_requests, CHAOS_RATE, 512, (64, 128), 42);
+    let horizon_s = 0.75 * n_requests as f64 / CHAOS_RATE;
+    let cluster = ClusterConfig {
+        scheduler: cluster_node_config(model),
+        policy: RouterPolicy::JoinShortestQueue,
+        interconnect: InterconnectModel::ethernet_400g()
+            .with_kv_bytes_per_token(KvCacheSpec::of(model).bytes_per_token),
+        slo: SloSpec::chatbot(),
+    };
+    let faults =
+        FaultSchedule::generate(n_nodes, horizon_s, &FaultSpec::crashes_only(60.0, CHAOS_MTTR_S), 1);
+    let cfg = ChaosConfig { cluster, policy: chaos_policies()[2], seed: 7 };
+    let spec = CorruptionSpec {
+        ber,
+        words_per_token: integrity_words_per_token(model),
+        protection,
+        seed: 13,
+    };
+    simulate_integrity(&refs, &workload, &cfg, &faults, &spec)
+}
+
+/// SDC/DUE/goodput frontier: BER × protection rung on a 2-node cluster.
+/// The analytic per-token SDC rate is strictly decreasing down the
+/// ladder at every non-zero BER — raw cells deliver every flipped word
+/// silently, SEC-DED leaves only odd ≥ 3-flip miscorrections, and
+/// ABFT + guards catch those in the dataflow. Sampled counts show the
+/// token-scale consequences; cells run on the sweep engine.
+#[must_use]
+pub fn integrity_frontier(n_requests: u64) -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let mut cells: Vec<(f64, Protection)> = Vec::new();
+    for &ber in &INTEGRITY_BERS {
+        for protection in Protection::ladder() {
+            cells.push((ber, protection));
+        }
+    }
+    let reports = SweepRunner::from_env()
+        .map(&cells, |&(ber, protection)| integrity_cell(&model, ber, protection, n_requests));
+    let mut t = Table::new(
+        format!(
+            "Integrity frontier: 2 DGX+AttAccs nodes, JSQ, retry policy, {n_requests} requests, {} words/token",
+            integrity_words_per_token(&model)
+        ),
+        &[
+            "BER",
+            "protection",
+            "corrected tok",
+            "DUE tok (recomp/drop)",
+            "SDC tok",
+            "SDC rate/tok",
+            "DUE rate/tok",
+            "corrupt req",
+            "goodput tok/s",
+        ],
+    );
+    for (&(ber, _), r) in cells.iter().zip(&reports) {
+        t.push_row(vec![
+            if ber == 0.0 { "0".into() } else { format!("{ber:.0e}") },
+            r.protection.clone(),
+            r.corrected_tokens.to_string(),
+            format!("{} ({}/{})", r.detected_tokens, r.recomputed_tokens, r.dropped_tokens),
+            r.sdc_tokens.to_string(),
+            format!("{:.3e}", r.analytic_sdc_rate),
+            format!("{:.3e}", r.analytic_due_rate),
+            r.corrupted_requests.to_string(),
+            n(r.goodput_under_corruption_tokens_per_s),
+        ]);
+    }
+    t
+}
+
+/// What SEC-DED costs at the command engine: plain vs protected streams
+/// of the same payload through one HBM3 stack. Time inflates by the
+/// code rate (136/128), energy additionally pays the in-stack ECC
+/// logic; the IO/PIM segments are untouched.
+#[must_use]
+pub fn ecc_overhead_table() -> Table {
+    use attacc_hbm::engine::simulate_stream;
+    use attacc_hbm::integrity::EccConfig;
+    use attacc_hbm::{HbmConfig, StreamSpec};
+    let hbm = HbmConfig::hbm3_8hi();
+    let code = EccConfig::hbm3();
+    let mut protected_cfg = hbm.clone();
+    protected_cfg.energy = code.energy_model(&hbm.energy);
+    let mut t = Table::new(
+        format!(
+            "On-die ECC overhead: HBM3 8-Hi, ({},{}) SEC-DED, code rate {:.4}",
+            code.word_bits(),
+            code.data_bits,
+            code.code_rate()
+        ),
+        &["payload (MiB)", "plain (ns)", "ECC (ns)", "time ×", "plain (nJ)", "ECC (nJ)", "energy ×"],
+    );
+    for mib in [1u64, 8, 64] {
+        let payload = mib << 20;
+        let plain = simulate_stream(
+            &hbm,
+            &StreamSpec::uniform(&hbm.geometry, payload, hbm.power.max_active_banks),
+        );
+        let prot = simulate_stream(
+            &protected_cfg,
+            &code.protected_stream(&hbm.geometry, payload, hbm.power.max_active_banks),
+        );
+        t.push_row(vec![
+            mib.to_string(),
+            n(plain.elapsed_ps as f64 / 1e3),
+            n(prot.elapsed_ps as f64 / 1e3),
+            format!("{:.4}", prot.elapsed_ps as f64 / plain.elapsed_ps as f64),
+            n(plain.energy.total_pj() / 1e3),
+            n(prot.energy.total_pj() / 1e3),
+            format!("{:.4}", prot.energy.total_pj() / plain.energy.total_pj()),
+        ]);
     }
     t
 }

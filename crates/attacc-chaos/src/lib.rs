@@ -56,13 +56,15 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod integrity;
 pub mod policy;
 pub mod report;
 pub mod sim;
 
 pub use fault::{Fault, FaultSchedule, FaultSpec};
+pub use integrity::{simulate_integrity, CorruptionSpec, IntegrityReport, Protection};
 pub use policy::{HealthConfig, RecoveryMode, ResiliencePolicy};
-pub use report::ChaosReport;
+pub use report::{ChaosReport, RequestOutcome};
 pub use sim::{simulate_chaos, ChaosConfig};
 
 // Re-exported so downstream callers need only this crate for a full run.

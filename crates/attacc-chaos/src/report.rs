@@ -13,6 +13,20 @@ use attacc_sim::Table;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
+/// Per-request outcome of a chaos run — the request-level view the
+/// integrity layer folds corruption events into (a corrupted token can
+/// demote an otherwise-good request without re-running the event loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct RequestOutcome {
+    /// Logical request id (arrival order).
+    pub id: u64,
+    /// Output tokens the request generated.
+    pub l_out: u64,
+    /// Whether its earliest first token met the TTFT SLO.
+    pub in_slo: bool,
+}
+
 /// Outcome of a chaos simulation.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
@@ -58,6 +72,8 @@ pub struct ChaosReport {
     /// Output tokens of SLO-met unique requests per second of makespan —
     /// the goodput that survived the faults.
     pub goodput_under_failure_tokens_per_s: f64,
+    /// One entry per completed logical request, in request-id order.
+    pub request_outcomes: Vec<RequestOutcome>,
 }
 
 impl ChaosReport {
@@ -155,6 +171,7 @@ mod tests {
             duplicate_completions: 2,
             requests_in_slo: 38,
             goodput_under_failure_tokens_per_s: 45.5,
+            request_outcomes: vec![RequestOutcome { id: 0, l_out: 16, in_slo: true }],
         }
     }
 

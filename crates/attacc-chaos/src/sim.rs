@@ -404,16 +404,25 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
         let mut requests_in_slo = 0u64;
         let mut goodput_tokens = 0u64;
         let mut duplicate_completions = 0u64;
-        for tr in self.trackers.values() {
+        // BTreeMap iteration gives request-id order — part of the
+        // byte-identical determinism contract.
+        let mut request_outcomes = Vec::new();
+        for (&id, tr) in &self.trackers {
             if tr.completed_s.is_none() {
                 continue;
             }
             unique_completed += 1;
             duplicate_completions += tr.completions.saturating_sub(1);
-            if tr.first_token_s.is_some_and(|ft| ft - tr.arrival_s <= slo.ttft_s) {
+            let in_slo = tr.first_token_s.is_some_and(|ft| ft - tr.arrival_s <= slo.ttft_s);
+            if in_slo {
                 requests_in_slo += 1;
                 goodput_tokens += tr.request.l_out;
             }
+            request_outcomes.push(crate::report::RequestOutcome {
+                id,
+                l_out: tr.request.l_out,
+                in_slo,
+            });
         }
 
         // Unfinished windows (a schedule ending mid-outage) run to the
@@ -459,6 +468,7 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
             } else {
                 0.0
             },
+            request_outcomes,
         }
     }
 }

@@ -39,6 +39,7 @@ pub mod command;
 pub mod energy;
 pub mod engine;
 pub mod geometry;
+pub mod integrity;
 pub mod power;
 pub mod stack;
 pub mod stats;
@@ -50,6 +51,10 @@ pub use command::{DramCommand, PimCommand};
 pub use energy::{AccessDepth, EnergyCounter, EnergyModel};
 pub use engine::{ChannelEngine, PimIssueOutcome, StreamOutcome, StreamSpec, TimingViolation};
 pub use geometry::{BankAddr, StackGeometry};
+pub use integrity::{
+    word_error_probs, BitFaultModel, EccConfig, EccOutcome, FaultKind, IntegrityCounters,
+    WordErrorProbs,
+};
 pub use power::PowerConstraint;
 pub use stack::{simulate_stack, StackOutcome, StackStreamSpec};
 pub use stats::ChannelStats;

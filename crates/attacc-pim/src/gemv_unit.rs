@@ -9,6 +9,7 @@
 //! The paper maps `Kᵀ` row-wise and `V` column-wise at this level to keep
 //! appended KV vectors load-balanced (§4.2).
 
+use crate::integrity::FaultPlan;
 use crate::numeric::{f16_round, Matrix};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
@@ -84,24 +85,86 @@ impl GemvUnit {
     /// Panics if `x.len() != m.rows()`.
     #[must_use]
     pub fn gemv(&self, mode: GemvMode, x: &[f32], m: &Matrix) -> Vec<f32> {
+        self.gemv_with_faults(mode, x, m, &FaultPlan::none())
+    }
+
+    /// [`GemvUnit::gemv`] with an integrity-layer fault hook: cell reads,
+    /// input-register reads and product registers consult `plan` and flip
+    /// the planned bits. With an empty plan the arithmetic is *identical*
+    /// to the unhooked path — the lookups return `None` and every operand
+    /// flows through unchanged, which is what keeps the faults-disabled
+    /// contract bit-exact.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != m.rows()`.
+    #[must_use]
+    pub fn gemv_with_faults(
+        &self,
+        mode: GemvMode,
+        x: &[f32],
+        m: &Matrix,
+        plan: &FaultPlan,
+    ) -> Vec<f32> {
+        self.gemv_with_faults_wide(mode, x, m, plan)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect()
+    }
+
+    /// [`GemvUnit::gemv_with_faults`] exposing the accumulator-width
+    /// (pre-writeback-quantization) column values. The ABFT checker reads
+    /// these: checking before the output quantizer keeps the fault-free
+    /// residual at f64 noise level instead of f32 rounding level, which is
+    /// what lets the checksum tolerance sit tight enough to catch
+    /// single-bit product flips.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != m.rows()`.
+    #[must_use]
+    pub fn gemv_with_faults_wide(
+        &self,
+        mode: GemvMode,
+        x: &[f32],
+        m: &Matrix,
+        plan: &FaultPlan,
+    ) -> Vec<f64> {
         assert_eq!(x.len(), m.rows(), "input length must equal matrix rows");
         match mode {
-            GemvMode::AdderTree => self.gemv_tree(x, m),
-            GemvMode::Accumulator => self.gemv_acc(x, m),
+            GemvMode::AdderTree => self.gemv_tree(x, m, plan),
+            GemvMode::Accumulator => self.gemv_acc(x, m, plan),
         }
+    }
+
+    /// One fused multiply step with fault hooks on all three registers:
+    /// the stored f16 cell, the f32 input register, and the rounded
+    /// product.
+    fn product(&self, x: &[f32], m: &Matrix, r: usize, j: usize, plan: &FaultPlan) -> f64 {
+        let xv = match plan.input_flip(r) {
+            Some(bit) => crate::integrity::flip_f32(x[r], bit),
+            None => x[r],
+        };
+        let mv = match plan.cell_flip(r, j) {
+            Some(bit) => crate::integrity::flip_f16_cell(m.get(r, j), bit),
+            None => m.get(r, j),
+        };
+        let mut prod = self.rnd(f64::from(xv) * f64::from(mv));
+        if let Some(bit) = plan.product_flip(r, j) {
+            prod = f64::from(crate::integrity::flip_f32(prod as f32, bit));
+        }
+        prod
     }
 
     /// Row-partitioned: each lane owns a contiguous slab of reduction rows;
     /// per output element the lane partials are combined by a binary adder
     /// tree.
     #[allow(clippy::needless_range_loop)] // dual-operand indexing reads clearest
-    fn gemv_tree(&self, x: &[f32], m: &Matrix) -> Vec<f32> {
+    fn gemv_tree(&self, x: &[f32], m: &Matrix, plan: &FaultPlan) -> Vec<f64> {
         let k = m.rows();
         let n = m.cols();
         let lanes = self.lanes.min(k.max(1));
         let base = k / lanes;
         let extra = k % lanes;
-        let mut out = vec![0.0f32; n];
+        let mut out = vec![0.0f64; n];
         for (j, out_j) in out.iter_mut().enumerate() {
             let mut partials = Vec::with_capacity(lanes);
             let mut r0 = 0;
@@ -109,7 +172,7 @@ impl GemvUnit {
                 let rows = base + usize::from(lane < extra);
                 let mut acc = 0.0f64;
                 for r in r0..r0 + rows {
-                    let prod = self.rnd(f64::from(x[r]) * f64::from(m.get(r, j)));
+                    let prod = self.product(x, m, r, j, plan);
                     acc = self.rnd(acc + prod);
                 }
                 partials.push(acc);
@@ -127,7 +190,7 @@ impl GemvUnit {
                 }
                 partials = next;
             }
-            *out_j = partials.first().copied().unwrap_or(0.0) as f32;
+            *out_j = partials.first().copied().unwrap_or(0.0);
         }
         out
     }
@@ -135,20 +198,20 @@ impl GemvUnit {
     /// Column-partitioned: each lane owns whole output columns and
     /// accumulates over the full reduction dimension.
     #[allow(clippy::needless_range_loop)] // dual-operand indexing reads clearest
-    fn gemv_acc(&self, x: &[f32], m: &Matrix) -> Vec<f32> {
+    fn gemv_acc(&self, x: &[f32], m: &Matrix, plan: &FaultPlan) -> Vec<f64> {
         let k = m.rows();
         let n = m.cols();
-        let mut out = vec![0.0f32; n];
+        let mut out = vec![0.0f64; n];
         // Lane assignment is round-robin over columns; since lanes are
         // independent accumulators the result only depends on per-column
         // serial order.
         for (j, out_j) in out.iter_mut().enumerate() {
             let mut acc = 0.0f64;
             for r in 0..k {
-                let prod = self.rnd(f64::from(x[r]) * f64::from(m.get(r, j)));
+                let prod = self.product(x, m, r, j, plan);
                 acc = self.rnd(acc + prod);
             }
-            *out_j = acc as f32;
+            *out_j = acc;
         }
         out
     }

@@ -37,6 +37,7 @@ pub mod controller;
 pub mod device;
 pub mod gemv_unit;
 pub mod head_pipeline;
+pub mod integrity;
 pub mod isa;
 pub mod kv_store;
 pub mod mapping;
@@ -53,6 +54,10 @@ pub use controller::{AttAccController, ConfigMemory};
 pub use device::AttAccDevice;
 pub use gemv_unit::{GemvMode, GemvUnit, Precision};
 pub use head_pipeline::{schedule_stack, HeadPhase, HeadTimeline, Segment};
+pub use integrity::{
+    flip_f16_cell, flip_f32, sample_single_fault, AbftGemv, AbftOutcome, AttentionIntegrity,
+    BitFlip, FaultPlan, ProtectedAttention, Site, Stage,
+};
 pub use isa::{AttInst, InstError};
 pub use kv_store::{KvHalf, KvStore, KvStoreFull};
 pub use mapping::{HeadAllocator, LevelSpec, MappingPolicy, Partitioning};

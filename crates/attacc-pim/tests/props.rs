@@ -183,3 +183,61 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Decoding any binary16 bit pattern and re-encoding it returns the
+    /// same pattern (NaN payloads canonicalize to the quiet NaN, which is
+    /// a fixed point).
+    #[test]
+    fn f16_bits_decode_encode_round_trips(bits in 0u16..=u16::MAX) {
+        use attacc_pim::numeric::{f16_from_bits, f16_to_bits};
+        let v = f16_from_bits(bits);
+        let back = f16_to_bits(v);
+        if v.is_nan() {
+            prop_assert_eq!(back, 0x7e00); // NaN canonicalizes
+            prop_assert!(f16_from_bits(back).is_nan());
+        } else {
+            prop_assert_eq!(back, bits);
+        }
+    }
+
+    /// Encoding an arbitrary f32 agrees with the rounding the datapath
+    /// already uses: `f16_from_bits(f16_to_bits(x)) == f16_round(x)`.
+    #[test]
+    fn f16_encode_agrees_with_f16_round(xbits in 0u32..=u32::MAX) {
+        use attacc_pim::numeric::{f16_from_bits, f16_round, f16_to_bits};
+        let x = f32::from_bits(xbits);
+        let via_bits = f16_from_bits(f16_to_bits(x));
+        let direct = f16_round(x);
+        if direct.is_nan() {
+            prop_assert!(via_bits.is_nan());
+        } else {
+            prop_assert_eq!(via_bits.to_bits(), direct.to_bits());
+        }
+    }
+
+    /// The softmax guard never false-positives on a healthy weight vector
+    /// perturbed by a single ULP — the tolerance must sit far above the
+    /// numeric noise floor or detected errors would drown in recomputes.
+    #[test]
+    fn softmax_guard_tolerates_single_ulp_perturbation(
+        scores in prop::collection::vec((-60i32..60).prop_map(|v| v as f32 * 0.25), 1..300),
+        raw_idx in 0usize..4096,
+        up in 0u8..2,
+    ) {
+        use attacc_pim::numeric::guard_normalized;
+        use attacc_pim::softmax_unit::{SoftmaxUnit, SOFTMAX_GUARD_TOL};
+        let unit = SoftmaxUnit::new();
+        let mut w = unit.compute(&scores);
+        prop_assert!(guard_normalized(&w, SOFTMAX_GUARD_TOL).is_ok());
+        let i = raw_idx % w.len();
+        // One ULP in either direction on one weight.
+        let bits = w[i].to_bits();
+        w[i] = f32::from_bits(if up == 1 { bits + 1 } else { bits.saturating_sub(1) });
+        prop_assert!(
+            guard_normalized(&w, SOFTMAX_GUARD_TOL).is_ok(),
+            "guard tripped on a single-ULP perturbation at index {}",
+            i
+        );
+    }
+}

@@ -28,7 +28,12 @@ pub fn max_batch_by_capacity(
     if kv_bytes_per_token == 0 || max_context == 0 {
         return u64::MAX;
     }
-    kv_capacity_bytes / (kv_bytes_per_token * max_context)
+    // A per-request cost beyond u64::MAX exceeds any capacity: zero
+    // requests fit (the unchecked product would wrap and grossly
+    // overstate the batch).
+    kv_bytes_per_token
+        .checked_mul(max_context)
+        .map_or(0, |per_request| kv_capacity_bytes / per_request)
 }
 
 #[cfg(test)]
@@ -50,5 +55,15 @@ mod tests {
     fn exact_division() {
         assert_eq!(max_batch_by_capacity(1000, 10, 10), 10);
         assert_eq!(max_batch_by_capacity(999, 10, 10), 9);
+    }
+
+    #[test]
+    fn overflowing_per_request_cost_means_nothing_fits() {
+        // kv_bytes_per_token × max_context wraps in u64; the wrapped
+        // product used to be tiny, reporting a huge bogus batch.
+        assert_eq!(max_batch_by_capacity(u64::MAX, u64::MAX, 2), 0);
+        assert_eq!(max_batch_by_capacity(1 << 40, 1 << 40, 1 << 40), 0);
+        // The largest non-overflowing cost still divides normally.
+        assert_eq!(max_batch_by_capacity(u64::MAX, u64::MAX, 1), 1);
     }
 }

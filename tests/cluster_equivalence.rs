@@ -183,3 +183,65 @@ fn cluster_report_is_byte_identical_cold_and_warm_cache() {
     assert_eq!(cold, warm, "cache hits changed the cluster frontier");
     assert!(stats.hits > 0, "second run should hit the cache");
 }
+
+#[test]
+fn integrity_with_zero_ber_is_bit_exact_with_cluster() {
+    use attacc::chaos::{
+        simulate_chaos, simulate_integrity, ChaosConfig, CorruptionSpec, FaultSchedule,
+    };
+    use attacc::cluster::RouterPolicy;
+
+    // A clean channel over an empty fault schedule and the inert policy:
+    // the integrity wrapper must hand back simulate_cluster's exact
+    // report — same floats — with every corruption counter at zero.
+    let w = ArrivalWorkload::poisson(80, 120.0, 48, (4, 24), 17);
+    let toys = [Toy, Toy, Toy];
+    let nodes: Vec<&dyn StageExecutor> = toys.iter().map(|t| t as &dyn StageExecutor).collect();
+    let cfg = ClusterConfig {
+        policy: RouterPolicy::JoinShortestQueue,
+        ..ClusterConfig::pass_through(SchedulerConfig::unlimited(8))
+    };
+    let base = simulate_cluster(&nodes, &w, &cfg);
+    let chaos_cfg = ChaosConfig::inert(cfg);
+    let plain = simulate_chaos(&nodes, &w, &chaos_cfg, &FaultSchedule::none());
+    let r = simulate_integrity(
+        &nodes,
+        &w,
+        &chaos_cfg,
+        &FaultSchedule::none(),
+        &CorruptionSpec::clean(),
+    );
+    assert_eq!(r.chaos.cluster, base, "zero-BER integrity run diverged from simulate_cluster");
+    assert_eq!(r.chaos, plain, "zero-BER integrity run diverged from simulate_chaos");
+    assert_eq!(
+        (r.sdc_tokens, r.detected_tokens, r.corrected_tokens, r.corrupted_requests),
+        (0, 0, 0, 0)
+    );
+}
+
+#[test]
+fn integrity_report_is_byte_identical_across_thread_counts() {
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    engine::set_threads(1);
+    let serial = attacc_bench::integrity_frontier(24).to_string();
+    for threads in [2, 8] {
+        engine::set_threads(threads);
+        let parallel = attacc_bench::integrity_frontier(24).to_string();
+        assert_eq!(
+            serial, parallel,
+            "integrity frontier changed between 1 and {threads} threads"
+        );
+    }
+    engine::set_threads(0); // restore env-resolved default
+}
+
+#[test]
+fn integrity_report_is_byte_identical_cold_and_warm_cache() {
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    let cache = TimingCache::global();
+    cache.clear();
+    cache.reset_stats();
+    let cold = attacc_bench::integrity_frontier(24).to_string();
+    let warm = attacc_bench::integrity_frontier(24).to_string();
+    assert_eq!(cold, warm, "cache hits changed the integrity frontier");
+}

@@ -155,3 +155,15 @@ fn golden_chaos() {
         ],
     );
 }
+
+#[test]
+fn golden_integrity() {
+    // Smaller than the binary's INTEGRITY_REQUESTS: the snapshot pins
+    // token-fate sampling, the analytic SDC/DUE ladder and the ECC
+    // command-engine overheads (tests/data_integrity.rs pins the
+    // zero-SDC acceptance contract).
+    check(
+        "integrity",
+        &[attacc_bench::integrity_frontier(48), attacc_bench::ecc_overhead_table()],
+    );
+}
