@@ -1,0 +1,93 @@
+//! Wall-time instrumentation for the simulation hot path.
+//!
+//! Times the per-call cost of each component the cluster/chaos event
+//! loops lean on — Gen-stage timing resolution (analytic fast path vs
+//! the exact command-level engine), the fused PIM attention model, and
+//! the time-wheel event queue — so a wall-clock regression can be
+//! localized to a component without an external profiler. Numbers are
+//! machine-dependent and printed for inspection only; the enforced
+//! regression gate is the harness `--budget` mode.
+
+use attacc_cluster::{EventKind, EventQueue};
+use attacc_model::ModelConfig;
+use attacc_pim::{AttAccDevice, GemvPlacement};
+use attacc_serving::{SchedulerConfig, StageExecutor};
+use attacc_sim::engine;
+use attacc_sim::{System, SystemExecutor, TimingCache};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time<R>(label: &str, iters: u64, mut f: impl FnMut(u64) -> R) {
+    let start = Instant::now();
+    for i in 0..iters {
+        black_box(f(i));
+    }
+    let total = start.elapsed().as_secs_f64();
+    let per_call_ns = total / iters as f64 * 1e9;
+    println!("{label:<46} {per_call_ns:>9.1} ns/call   ({iters} calls, {total:.3}s)");
+}
+
+fn main() {
+    let model = ModelConfig::gpt3_175b();
+    let exec = SystemExecutor::new(System::dgx_attacc_full(), &model);
+    let dev = AttAccDevice::paper_40_stacks(GemvPlacement::Bank);
+
+    // Steady-state decode: rows constant, contexts advancing one token a
+    // round — every call resolves through one GenParts probe plus the
+    // analytic combine, exactly like the cluster/chaos inner loops.
+    engine::set_fastpath(Some(true));
+    TimingCache::global().clear();
+    exec.gen_stage(&[(8, 512)]);
+    time("gen_stage fast path (steady-state decode)", 100_000, |i| {
+        exec.gen_stage(&[(8, 512 + (i % 512))])
+    });
+
+    // The same shapes through the exact command-level engine: each
+    // advancing context is a fresh full-group cache key, so this is the
+    // cost the fast path removes.
+    engine::set_fastpath(Some(false));
+    TimingCache::global().clear();
+    time("gen_stage exact engine (advancing contexts)", 2_000, |i| {
+        exec.gen_stage(&[(8, 512 + (i % 512))])
+    });
+    engine::set_fastpath(None);
+
+    // The fused PIM attention model alone (runs inside every fast-path
+    // combine).
+    time("attention_decoder_time (one group)", 100_000, |i| {
+        dev.attention_decoder_time(&model, &[(8, 512 + (i % 512))], true)
+    });
+
+    // Sum-stage probe on a warm cache (prefill admissions).
+    TimingCache::global().clear();
+    time("sum_stage warm probe", 100_000, |i| exec.sum_stage(1 + (i % 4), 512));
+
+    // A full scheduling round in steady-state decode: 16 active
+    // sequences, no admissions, contexts advancing one token per call —
+    // the NodeReady handler's dominant work item.
+    engine::set_fastpath(None);
+    TimingCache::global().clear();
+    let mut node = attacc_cluster::NodeEngine::new(&exec, SchedulerConfig::unlimited(16));
+    for i in 0..16u64 {
+        node.deliver(0.0, attacc_model::Request::new(i, 256 + i, 1 << 40));
+    }
+    let mut t = node.run_round(0.0).end_s;
+    time("node run_round (16-way steady decode)", 100_000, |_| {
+        let out = node.run_round(t);
+        t = out.end_s;
+        t
+    });
+
+    // Event-queue churn: a standing population with one pop + one push
+    // per step, time strictly advancing — the cluster loop's access
+    // pattern on the time wheel.
+    let mut q = EventQueue::new();
+    for i in 0..1024u64 {
+        q.push(1e-3 * i as f64, EventKind::NodeReady { node: 0 });
+    }
+    time("event queue pop+push (standing population)", 1_000_000, |i| {
+        let ev = q.pop().expect("queue never drains");
+        q.push(ev.time_s + 1e-3 * ((i % 7) as f64 + 1.0), EventKind::NodeReady { node: 0 });
+        ev.time_s
+    });
+}

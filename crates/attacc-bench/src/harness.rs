@@ -2,26 +2,65 @@
 //!
 //! Every `bin/` driver funnels through [`run`]: flags are parsed
 //! (`--serial` forces single-threaded sweeps, `--quiet` suppresses the
-//! stats footer), the driver runs as a named phase on the sweep engine,
+//! stats footer, `--budget <BENCH_*.json>` enforces a wall-time
+//! budget), the driver runs as a named phase on the sweep engine,
 //! tables go to stdout, and a run report — thread count, per-phase wall
 //! time, timing-cache hit rate — goes to stderr.
+//!
+//! # Budget mode
+//!
+//! `--budget BENCH_cluster.json` compares this run's per-phase wall
+//! times against the `phase_wall_s` entries recorded in the blessed
+//! baseline file and exits non-zero when any phase runs more than
+//! [`BUDGET_HEADROOM`] over its baseline (or a baselined phase did not
+//! run at all). CI runs each `*_sim` bench this way so a performance
+//! regression fails the build instead of rotting silently.
 
 use attacc_sim::engine::{self, TimingCache};
 use attacc_sim::Table;
 
-/// Applies engine-relevant CLI flags: `--serial` pins the sweep engine to
-/// one thread (equivalent to `ATTACC_THREADS=1`). Returns `true` when
-/// `--quiet` was passed.
-pub fn init_from_args() -> bool {
-    let mut quiet = false;
-    for arg in std::env::args().skip(1) {
+/// Multiplier over the blessed baseline a phase may reach before the
+/// budget check fails: 25% headroom absorbs machine-to-machine and
+/// run-to-run noise while still catching real regressions.
+pub const BUDGET_HEADROOM: f64 = 1.25;
+
+/// Flags shared by every bench driver.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--quiet`: suppress the stderr stats footer.
+    pub quiet: bool,
+    /// `--budget <path>`: blessed `BENCH_*.json` to enforce wall-time
+    /// budgets against.
+    pub budget: Option<String>,
+}
+
+/// Parses the shared flags and applies the engine-relevant ones:
+/// `--serial` pins the sweep engine to one thread (equivalent to
+/// `ATTACC_THREADS=1`).
+#[must_use]
+pub fn parse_args() -> BenchArgs {
+    let mut args = BenchArgs::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--serial" => engine::set_threads(1),
-            "--quiet" => quiet = true,
+            "--quiet" => args.quiet = true,
+            "--budget" => {
+                args.budget = Some(argv.next().unwrap_or_else(|| {
+                    eprintln!("[attacc] --budget requires a BENCH_*.json path");
+                    std::process::exit(2);
+                }));
+            }
             _ => {}
         }
     }
-    quiet
+    args
+}
+
+/// Applies engine-relevant CLI flags (see [`parse_args`]). Returns
+/// `true` when `--quiet` was passed.
+pub fn init_from_args() -> bool {
+    parse_args().quiet
 }
 
 /// Prints the engine run report (threads, per-phase wall time, cache
@@ -41,20 +80,165 @@ pub fn print_stats() {
     }
 }
 
+/// Extracts the `"phase_wall_s"` object of a blessed `BENCH_*.json`
+/// as `(phase, seconds)` pairs, hand-rolled so the bench crate needs
+/// no JSON dependency. Returns an error when the key or its object is
+/// missing or a value fails to parse — a malformed baseline must fail
+/// the budget check, not pass it.
+pub fn parse_phase_wall_s(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let start = json
+        .find("\"phase_wall_s\"")
+        .ok_or_else(|| "no \"phase_wall_s\" key".to_string())?;
+    let rest = &json[start + "\"phase_wall_s\"".len()..];
+    let obj_start = rest.find('{').ok_or_else(|| "no object after \"phase_wall_s\"".to_string())?;
+    let obj_end = rest[obj_start..]
+        .find('}')
+        .ok_or_else(|| "unterminated \"phase_wall_s\" object".to_string())?;
+    let body = &rest[obj_start + 1..obj_start + obj_end];
+
+    let mut out = Vec::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed phase_wall_s entry {entry:?}"))?;
+        let key = key.trim().trim_matches('"');
+        let seconds: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("non-numeric wall time for phase {key:?}: {value:?}"))?;
+        out.push((key.to_string(), seconds));
+    }
+    if out.is_empty() {
+        return Err("empty \"phase_wall_s\" object".to_string());
+    }
+    Ok(out)
+}
+
+/// Checks measured phase wall times against a blessed baseline: every
+/// baselined phase must have run and finished within `headroom` times
+/// its baseline. Returns one human-readable message per violation
+/// (empty = within budget).
+#[must_use]
+pub fn budget_violations(
+    measured: &[(String, f64)],
+    baseline: &[(String, f64)],
+    headroom: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (phase, base_s) in baseline {
+        let limit = base_s * headroom;
+        match measured.iter().find(|(p, _)| p == phase) {
+            None => violations.push(format!("phase {phase} in budget baseline but never ran")),
+            Some((_, got_s)) if *got_s > limit => violations.push(format!(
+                "phase {phase} took {got_s:.3}s, over budget (baseline {base_s:.3}s, limit {limit:.3}s)"
+            )),
+            Some(_) => {}
+        }
+    }
+    violations
+}
+
+/// Enforces the `--budget` baseline at `path` against this process's
+/// phase report, printing a verdict per phase. Exits non-zero on any
+/// violation or unreadable/malformed baseline.
+fn enforce_budget(path: &str) {
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("[attacc] budget: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = parse_phase_wall_s(&json).unwrap_or_else(|e| {
+        eprintln!("[attacc] budget: {path}: {e}");
+        std::process::exit(2);
+    });
+    let measured = engine::phase_report();
+    for (phase, base_s) in &baseline {
+        if let Some((_, got_s)) = measured.iter().find(|(p, _)| p == phase) {
+            eprintln!(
+                "[attacc] budget {phase}: {got_s:.3}s vs baseline {base_s:.3}s (limit {:.3}s)",
+                base_s * BUDGET_HEADROOM,
+            );
+        }
+    }
+    let violations = budget_violations(&measured, &baseline, BUDGET_HEADROOM);
+    if violations.is_empty() {
+        eprintln!("[attacc] budget: OK ({path})");
+    } else {
+        for v in &violations {
+            eprintln!("[attacc] budget: FAIL: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// Runs a driver producing several tables: parse flags, time it as phase
-/// `name`, print the tables, then the stats footer (unless `--quiet`).
+/// `name`, print the tables, then the stats footer (unless `--quiet`),
+/// then enforce the wall-time budget (when `--budget` was passed).
 pub fn run(name: &str, driver: impl FnOnce() -> Vec<Table>) {
-    let quiet = init_from_args();
+    let args = parse_args();
     let tables = engine::time_phase(name, driver);
     for t in &tables {
         println!("{t}");
     }
-    if !quiet {
+    if !args.quiet {
         print_stats();
+    }
+    if let Some(path) = &args.budget {
+        enforce_budget(path);
     }
 }
 
 /// [`run`] for a driver producing a single table.
 pub fn run_one(name: &str, driver: impl FnOnce() -> Table) {
     run(name, || vec![driver()]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_phase_wall_s_from_a_blessed_bench_file() {
+        let json = r#"{
+          "bench": "cluster_sim",
+          "harness_footer": {
+            "threads": 1,
+            "phase_wall_s": {
+              "cluster_sim": 0.160,
+              "chaos_sim": 0.343
+            }
+          }
+        }"#;
+        assert_eq!(
+            parse_phase_wall_s(json).unwrap(),
+            vec![("cluster_sim".to_string(), 0.160), ("chaos_sim".to_string(), 0.343)],
+        );
+    }
+
+    #[test]
+    fn rejects_missing_key_and_bad_values() {
+        assert!(parse_phase_wall_s("{}").is_err());
+        assert!(parse_phase_wall_s(r#"{"phase_wall_s": {}}"#).is_err());
+        assert!(parse_phase_wall_s(r#"{"phase_wall_s": {"x": "fast"}}"#).is_err());
+    }
+
+    #[test]
+    fn flags_regressions_over_headroom_only() {
+        let baseline = vec![("a".to_string(), 0.100), ("b".to_string(), 0.100)];
+        let measured = vec![("a".to_string(), 0.124), ("b".to_string(), 0.126)];
+        let violations = budget_violations(&measured, &baseline, 1.25);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("phase b"), "{violations:?}");
+    }
+
+    #[test]
+    fn flags_baselined_phase_that_never_ran() {
+        let baseline = vec![("a".to_string(), 0.100)];
+        let violations = budget_violations(&[], &baseline, 1.25);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("never ran"), "{violations:?}");
+    }
 }

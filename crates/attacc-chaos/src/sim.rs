@@ -23,7 +23,6 @@ use attacc_model::Request;
 use attacc_serving::{ArrivalWorkload, StageExecutor};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Everything a chaos run needs besides executors, workload, and faults.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,9 +47,49 @@ impl ChaosConfig {
     }
 }
 
-/// Per-logical-request bookkeeping, keyed by request id in a `BTreeMap`
-/// so iteration order — and therefore every derived statistic — is
-/// deterministic.
+/// Request ids interned to dense indices so per-request state lives in a
+/// flat `Vec` instead of a `BTreeMap`. The workload generators assign
+/// dense ids `0..n` (detected at build time), making a lookup a plain
+/// index; arbitrary id sets fall back to binary search over the sorted
+/// unique ids. Either way index order equals ascending id order, which
+/// keeps report iteration byte-identical to the old `BTreeMap` walk.
+#[derive(Debug, Default)]
+struct RequestIndex {
+    /// Number of distinct ids.
+    len: usize,
+    /// Sorted unique ids; empty when ids are exactly `0..len`.
+    sparse: Vec<u64>,
+}
+
+impl RequestIndex {
+    fn build(workload: &ArrivalWorkload) -> RequestIndex {
+        let mut ids: Vec<u64> = workload.arrivals.iter().map(|&(_, r)| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let dense = ids.iter().enumerate().all(|(i, &id)| id == i as u64);
+        RequestIndex { len: ids.len(), sparse: if dense { Vec::new() } else { ids } }
+    }
+
+    fn index_of(&self, id: u64) -> usize {
+        if self.sparse.is_empty() {
+            id as usize
+        } else {
+            self.sparse.binary_search(&id).expect("tracked request id")
+        }
+    }
+
+    fn id_at(&self, idx: usize) -> u64 {
+        if self.sparse.is_empty() {
+            idx as u64
+        } else {
+            self.sparse[idx]
+        }
+    }
+}
+
+/// Per-logical-request bookkeeping, stored in a flat `Vec` indexed by the
+/// interned request id (see [`RequestIndex`]) so iteration order — and
+/// therefore every derived statistic — is deterministic.
 #[derive(Debug, Clone, Copy)]
 struct Track {
     /// Front-door arrival time.
@@ -84,7 +123,12 @@ struct ChaosSim<'a, 'b> {
     /// EWMA of per-token round latency, the health signal.
     ewma: Vec<Option<f64>>,
     makespan: f64,
-    trackers: BTreeMap<u64, Track>,
+    ids: RequestIndex,
+    trackers: Vec<Option<Track>>,
+    /// Load-snapshot scratch reused across dispatches.
+    loads_scratch: Vec<NodeLoad>,
+    /// Eligibility-mask scratch reused across dispatches.
+    mask_scratch: Vec<bool>,
     crashes: u64,
     retries: u64,
     hedges: u64,
@@ -115,7 +159,10 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
             link_factor: 1.0,
             ewma: vec![None; n],
             makespan: 0.0,
-            trackers: BTreeMap::new(),
+            ids: RequestIndex::default(),
+            trackers: Vec::new(),
+            loads_scratch: Vec::with_capacity(n),
+            mask_scratch: Vec::with_capacity(n),
             crashes: 0,
             retries: 0,
             hedges: 0,
@@ -132,11 +179,13 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
     /// otherwise up-and-not-degraded, falling back to up, falling back to
     /// everyone (so a dispatch always has a destination — at worst it
     /// parks at a dead node's door until recovery).
-    fn eligibility(&self) -> Vec<bool> {
+    fn fill_eligibility(&self, mask: &mut Vec<bool>) {
+        mask.clear();
         if !self.cfg.policy.health.enabled {
-            return vec![true; self.n];
+            mask.resize(self.n, true);
+            return;
         }
-        let mut mask = self.up.clone();
+        mask.extend_from_slice(&self.up);
         let best = (0..self.n)
             .filter(|&i| self.up[i])
             .filter_map(|i| self.ewma[i])
@@ -155,23 +204,25 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
         if !mask.iter().any(|&m| m) {
             mask.fill(true);
         }
-        mask
     }
 
     /// Routes and ships one copy of `request`, warm or cold. Mirrors the
     /// Arrival arm of `simulate_cluster` exactly when the mask is
     /// all-`true`, `warm` is false, and the link factor is 1.
     fn dispatch(&mut self, now: f64, arrival_s: f64, request: Request, warm: bool) {
-        let loads: Vec<NodeLoad> = (0..self.n)
-            .map(|i| NodeLoad {
-                backlog: self.in_flight[i]
-                    + self.engines[i].queued_len() as u64
-                    + self.engines[i].active_len() as u64,
-                kv_tokens: self.in_flight_tokens[i] + self.engines[i].pledged_tokens(),
-            })
-            .collect();
-        let mask = self.eligibility();
+        let mut loads = std::mem::take(&mut self.loads_scratch);
+        loads.clear();
+        loads.extend((0..self.n).map(|i| NodeLoad {
+            backlog: self.in_flight[i]
+                + self.engines[i].queued_len() as u64
+                + self.engines[i].active_len() as u64,
+            kv_tokens: self.in_flight_tokens[i] + self.engines[i].pledged_tokens(),
+        }));
+        let mut mask = std::mem::take(&mut self.mask_scratch);
+        self.fill_eligibility(&mut mask);
         let decision = self.router.route_among(request.id, &loads, &mask);
+        self.loads_scratch = loads;
+        self.mask_scratch = mask;
         let delay = if self.cfg.cluster.policy == RouterPolicy::PassThrough {
             0.0
         } else {
@@ -215,18 +266,15 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
     }
 
     fn on_arrival(&mut self, now: f64, request: Request) {
-        self.trackers.insert(
-            request.id,
-            Track {
-                arrival_s: now,
-                request,
-                attempts: 1,
-                hedged: false,
-                first_token_s: None,
-                completed_s: None,
-                completions: 0,
-            },
-        );
+        self.trackers[self.ids.index_of(request.id)] = Some(Track {
+            arrival_s: now,
+            request,
+            attempts: 1,
+            hedged: false,
+            first_token_s: None,
+            completed_s: None,
+            completions: 0,
+        });
         self.dispatch(now, now, request, false);
         self.arm_retry_timer(request.id, 1, now);
         if let Some(h) = self.cfg.policy.retry.hedge_after_s {
@@ -252,30 +300,55 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
 
     fn on_node_ready(&mut self, now: f64, node: usize) {
         self.ready_scheduled[node] = false;
-        if !self.up[node] || self.engines[node].is_drained() {
-            return;
-        }
-        let out = self.engines[node].run_round(now);
-        self.busy_until[node] = out.end_s;
-        self.makespan = self.makespan.max(out.end_s);
-        for (id, ts) in self.engines[node].take_first_tokens() {
-            let tr = self.trackers.get_mut(&id).expect("first token for tracked request");
-            tr.first_token_s = Some(tr.first_token_s.map_or(ts, |p| p.min(ts)));
-        }
-        for (id, ts) in self.engines[node].take_retired() {
-            let tr = self.trackers.get_mut(&id).expect("retirement for tracked request");
-            tr.completions += 1;
-            tr.completed_s = Some(tr.completed_s.map_or(ts, |p| p.min(ts)));
-        }
-        if out.tokens > 0 {
-            let sample = (out.end_s - now) / out.tokens as f64;
-            let alpha = self.cfg.policy.health.ewma_alpha;
-            self.ewma[node] =
-                Some(self.ewma[node].map_or(sample, |e| alpha * sample + (1.0 - alpha) * e));
-        }
-        if !self.engines[node].is_drained() {
-            self.ready_scheduled[node] = true;
-            self.q.push(out.end_s, EventKind::NodeReady { node });
+        let mut now = now;
+        loop {
+            if !self.up[node] || self.engines[node].is_drained() {
+                return;
+            }
+            let out = self.engines[node].run_round(now);
+            self.busy_until[node] = out.end_s;
+            self.makespan = self.makespan.max(out.end_s);
+            for &(id, ts) in self.engines[node].first_tokens() {
+                let tr = self.trackers[self.ids.index_of(id)]
+                    .as_mut()
+                    .expect("first token for tracked request");
+                tr.first_token_s = Some(tr.first_token_s.map_or(ts, |p| p.min(ts)));
+            }
+            for &(id, ts) in self.engines[node].retired_log() {
+                let tr = self.trackers[self.ids.index_of(id)]
+                    .as_mut()
+                    .expect("retirement for tracked request");
+                tr.completions += 1;
+                tr.completed_s = Some(tr.completed_s.map_or(ts, |p| p.min(ts)));
+            }
+            self.engines[node].clear_round_logs();
+            if out.tokens > 0 {
+                let sample = (out.end_s - now) / out.tokens as f64;
+                let alpha = self.cfg.policy.health.ewma_alpha;
+                self.ewma[node] =
+                    Some(self.ewma[node].map_or(sample, |e| alpha * sample + (1.0 - alpha) * e));
+            }
+            if self.engines[node].is_drained() {
+                return;
+            }
+            // The wake-up we would push at `out.end_s` carries the
+            // maximum kind rank and sequence number, so it pops next iff
+            // every pending event is strictly later (by `total_cmp`, the
+            // queue's time order) — in that case the pop would re-enter
+            // this handler immediately: run the next round inline
+            // instead. A pending fault transition, arrival, or timer at
+            // or before `out.end_s` must run first (it could take this
+            // node down), so fall back to the queue round-trip.
+            let next_round_pops_first = self
+                .q
+                .next_time()
+                .is_none_or(|nt| nt.total_cmp(&out.end_s) == std::cmp::Ordering::Greater);
+            if !next_round_pops_first {
+                self.ready_scheduled[node] = true;
+                self.q.push(out.end_s, EventKind::NodeReady { node });
+                return;
+            }
+            now = out.end_s;
         }
     }
 
@@ -335,7 +408,8 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
     }
 
     fn on_timer(&mut self, now: f64, id: u64, hedge: bool) {
-        let tr = *self.trackers.get(&id).expect("timer for tracked request");
+        let idx = self.ids.index_of(id);
+        let tr = self.trackers[idx].expect("timer for tracked request");
         if tr.first_token_s.is_some() {
             return; // the request is making progress; the timer is moot
         }
@@ -343,7 +417,7 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
             if tr.hedged {
                 return;
             }
-            self.trackers.get_mut(&id).expect("tracked").hedged = true;
+            self.trackers[idx].as_mut().expect("tracked").hedged = true;
             self.hedges += 1;
             self.makespan = self.makespan.max(now);
             self.dispatch(now, tr.arrival_s, tr.request, false);
@@ -353,7 +427,7 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
                 return;
             }
             let attempt = tr.attempts + 1;
-            self.trackers.get_mut(&id).expect("tracked").attempts = attempt;
+            self.trackers[idx].as_mut().expect("tracked").attempts = attempt;
             self.retries += 1;
             self.makespan = self.makespan.max(now);
             self.dispatch(now, tr.arrival_s, tr.request, false);
@@ -362,6 +436,8 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
     }
 
     fn run(&mut self, workload: &ArrivalWorkload) {
+        self.ids = RequestIndex::build(workload);
+        self.trackers = vec![None; self.ids.len];
         for &(t, request) in &workload.arrivals {
             self.q.push(t, EventKind::Arrival { request });
         }
@@ -404,10 +480,12 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
         let mut requests_in_slo = 0u64;
         let mut goodput_tokens = 0u64;
         let mut duplicate_completions = 0u64;
-        // BTreeMap iteration gives request-id order — part of the
-        // byte-identical determinism contract.
+        // Interned-index iteration gives ascending request-id order —
+        // part of the byte-identical determinism contract.
         let mut request_outcomes = Vec::new();
-        for (&id, tr) in &self.trackers {
+        for (idx, slot) in self.trackers.iter().enumerate() {
+            let Some(tr) = slot else { continue };
+            let id = self.ids.id_at(idx);
             if tr.completed_s.is_none() {
                 continue;
             }

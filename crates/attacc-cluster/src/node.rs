@@ -112,6 +112,24 @@ pub struct NodeEngine<'a> {
     /// `(request id, time)` of every retirement, for the chaos layer's
     /// completion tracking (drained via [`NodeEngine::take_retired`]).
     retired: Vec<(u64, f64)>,
+    /// Per-round `(count, l_in)` admission-group scratch, reused so a
+    /// round allocates nothing in steady state.
+    scratch_admitted: Vec<(u64, u64)>,
+    /// Per-round `(count, context)` Gen-group scratch.
+    scratch_groups: Vec<(u64, u64)>,
+    /// Whether `scratch_groups` still describes the current active set
+    /// with every context one token short (i.e. last round ran a Gen
+    /// iteration and nothing joined or left the batch since). When set,
+    /// the next round advances each group's length in place instead of
+    /// rescanning every active — same vector, same order, so the float
+    /// accumulation order downstream is untouched.
+    groups_fresh: bool,
+    /// Minimum `l_out - generated` over the active set, maintained only
+    /// while `groups_fresh` holds (each steady-state round decrements it
+    /// by exactly one — everyone advances in lockstep). While it exceeds
+    /// one, no sequence can finish this round, so the completion sweep
+    /// skips every status and retirement check.
+    min_remaining: u64,
 }
 
 impl<'a> NodeEngine<'a> {
@@ -144,6 +162,10 @@ impl<'a> NodeEngine<'a> {
             last_kv_change_s: 0.0,
             first_tokens: Vec::new(),
             retired: Vec::new(),
+            scratch_admitted: Vec::new(),
+            scratch_groups: Vec::new(),
+            groups_fresh: false,
+            min_remaining: 0,
         }
     }
 
@@ -230,11 +252,34 @@ impl<'a> NodeEngine<'a> {
         std::mem::take(&mut self.retired)
     }
 
+    /// The `(request id, time)` first-token log accumulated since the
+    /// last drain.
+    #[must_use]
+    pub fn first_tokens(&self) -> &[(u64, f64)] {
+        &self.first_tokens
+    }
+
+    /// The `(request id, time)` retirement log accumulated since the last
+    /// drain.
+    #[must_use]
+    pub fn retired_log(&self) -> &[(u64, f64)] {
+        &self.retired
+    }
+
+    /// Clears both per-round logs without releasing their buffers — the
+    /// allocation-free counterpart of the `take_*` drains for a caller
+    /// that consumes the logs by reference after every round.
+    pub fn clear_round_logs(&mut self) {
+        self.first_tokens.clear();
+        self.retired.clear();
+    }
+
     /// Crashes the node at `now`: every queued and active request loses
     /// its KV state and is returned for front-door re-dispatch, and the
     /// KV reservation drops to zero. Capacity is restored by simply
     /// resuming `run_round` calls after recovery — state is not.
     pub fn crash(&mut self, now: f64) -> CrashedWork {
+        self.groups_fresh = false;
         let mut work = CrashedWork::default();
         for (arrival_s, request, warm) in self.queued.drain(..) {
             work.displaced.push(DisplacedRequest { arrival_s, request, progress: 0, warm });
@@ -294,7 +339,8 @@ impl<'a> NodeEngine<'a> {
         // exactly simulate_open_loop's admission loop). Warm requests
         // resume generating without a Sum stage: their KV image arrived
         // with them.
-        let mut admitted: Vec<(u64, u64)> = Vec::new();
+        let mut admitted = std::mem::take(&mut self.scratch_admitted);
+        admitted.clear();
         let mut admitted_warm = false;
         let mut kv_changed = false;
         while (self.active.len() as u64) < self.cfg.max_batch {
@@ -326,67 +372,111 @@ impl<'a> NodeEngine<'a> {
             self.record_kv(now);
         }
 
-        // Prefill the admissions.
-        for &(c, l_in) in &admitted {
-            let cost = self.executor.sum_stage(c, l_in);
-            now += cost.latency_s * self.slowdown;
-            self.energy_j += cost.energy_j;
-        }
-        for (arrival, s) in
-            self.active.iter_mut().filter(|(_, s)| s.status == SequenceStatus::NeedsSum)
-        {
-            self.tokens += 1;
-            self.ttft.push(now - *arrival);
-            self.ttft_tokens.push(s.request.l_out);
-            self.first_tokens.push((s.request.id, now));
-            let _ = s.complete_stage();
-        }
-
-        // One Gen iteration.
-        let mut groups: Vec<(u64, u64)> = Vec::new();
-        for (_, s) in self.active.iter().filter(|(_, s)| s.status == SequenceStatus::Generating) {
-            let l = s.context_len() + 1;
-            match groups.iter_mut().find(|(_, gl)| *gl == l) {
-                Some((c, _)) => *c += 1,
-                None => groups.push((1, l)),
+        // Prefill the admissions. A `NeedsSum` active can only be one of
+        // this round's cold admissions (every prior round completed its
+        // Sum stages, and a crash evicts actives wholesale), so the whole
+        // pass is skipped when nothing was admitted cold.
+        if !admitted.is_empty() {
+            for &(c, l_in) in &admitted {
+                let cost = self.executor.sum_stage(c, l_in);
+                now += cost.latency_s * self.slowdown;
+                self.energy_j += cost.energy_j;
+            }
+            for (arrival, s) in
+                self.active.iter_mut().filter(|(_, s)| s.status == SequenceStatus::NeedsSum)
+            {
+                self.tokens += 1;
+                self.ttft.push(now - *arrival);
+                self.ttft_tokens.push(s.request.l_out);
+                self.first_tokens.push((s.request.id, now));
+                let _ = s.complete_stage();
             }
         }
-        if !groups.is_empty() {
+
+        // One Gen iteration. Group building preserves first-occurrence
+        // order: it is the float accumulation order downstream.
+        let mut groups = std::mem::take(&mut self.scratch_groups);
+        let fresh_round = self.groups_fresh && admitted.is_empty() && !admitted_warm;
+        if fresh_round {
+            // Pure steady-state decode: the batch is unchanged, so the
+            // groups are last round's with every context one token
+            // longer (distinct lengths stay distinct — everything
+            // advances in lockstep — and the order is preserved).
+            for (_, l) in &mut groups {
+                *l += 1;
+            }
+        } else {
+            groups.clear();
+            for (_, s) in
+                self.active.iter().filter(|(_, s)| s.status == SequenceStatus::Generating)
+            {
+                let l = s.context_len() + 1;
+                match groups.iter_mut().find(|(_, gl)| *gl == l) {
+                    Some((c, _)) => *c += 1,
+                    None => groups.push((1, l)),
+                }
+            }
+        }
+        let gen_ran = !groups.is_empty();
+        if gen_ran {
             let cost = self.executor.gen_stage(&groups);
             let latency = cost.latency_s * self.slowdown;
             now += latency;
             self.energy_j += cost.energy_j;
             self.tbt.push(latency);
-            for (_, s) in
-                self.active.iter_mut().filter(|(_, s)| s.status == SequenceStatus::Generating)
-            {
-                self.tokens += 1;
-                let _ = s.complete_stage();
-            }
         }
 
-        // Retire.
-        let mut retired_any = false;
-        let (reserved, completed, pledged, retired) = (
-            &mut self.reserved_tokens,
-            &mut self.completed,
-            &mut self.pledged_tokens,
-            &mut self.retired,
-        );
-        self.active.retain(|(_, s)| {
-            if s.status == SequenceStatus::Finished {
-                *reserved -= s.request.final_len();
-                *pledged -= s.request.final_len();
-                *completed += 1;
-                retired.push((s.request.id, now));
-                retired_any = true;
-                false
-            } else {
-                true
+        if fresh_round && self.min_remaining > 1 {
+            // Nobody can finish this round — every active sequence still
+            // has at least two tokens to produce — so the completion
+            // sweep is a bare context advance: no status checks, no
+            // retirement tests, no reservation changes. `generated`
+            // stays exact (a crash or admission mid-stream sees the true
+            // per-sequence progress).
+            for (_, s) in &mut self.active {
+                s.generated += 1;
             }
-        });
-        if retired_any {
-            self.record_kv(now);
+            self.tokens += self.active.len() as u64;
+            self.min_remaining -= 1;
+        } else {
+            // Complete the iteration and retire finished requests in one
+            // sweep (retirement order is the active order either way),
+            // recomputing the minimum remaining tokens over survivors
+            // for the fast sweep above.
+            let mut retired_any = false;
+            let mut min_rem = u64::MAX;
+            let (tokens, reserved, completed, pledged, retired) = (
+                &mut self.tokens,
+                &mut self.reserved_tokens,
+                &mut self.completed,
+                &mut self.pledged_tokens,
+                &mut self.retired,
+            );
+            self.active.retain_mut(|(_, s)| {
+                if gen_ran && s.status == SequenceStatus::Generating {
+                    *tokens += 1;
+                    let _ = s.complete_stage();
+                }
+                if s.status == SequenceStatus::Finished {
+                    *reserved -= s.request.final_len();
+                    *pledged -= s.request.final_len();
+                    *completed += 1;
+                    retired.push((s.request.id, now));
+                    retired_any = true;
+                    false
+                } else {
+                    min_rem = min_rem.min(s.request.l_out - s.generated);
+                    true
+                }
+            });
+            if retired_any {
+                self.record_kv(now);
+            }
+            // The cached groups describe next round's batch exactly when a
+            // Gen iteration ran (every context advanced) and nobody
+            // retired.
+            self.groups_fresh = gen_ran && !retired_any;
+            self.min_remaining = min_rem;
         }
 
         let worked = !groups.is_empty() || !admitted.is_empty() || admitted_warm;
@@ -402,6 +492,8 @@ impl<'a> NodeEngine<'a> {
         if worked {
             self.busy_s += now - start;
         }
+        self.scratch_admitted = admitted;
+        self.scratch_groups = groups;
         RoundOutcome { end_s: now, worked, abandoned, tokens: self.tokens - tokens_before }
     }
 }

@@ -75,6 +75,9 @@ pub struct RouteDecision {
 pub struct Router {
     policy: RouterPolicy,
     rr_next: usize,
+    /// All-`true` eligibility scratch for [`Router::route`]: reused across
+    /// arrivals so the unmasked path allocates once per run, not per request.
+    all_eligible: Vec<bool>,
 }
 
 /// SplitMix64: a fixed, platform-independent avalanche hash so session
@@ -108,7 +111,7 @@ impl Router {
     /// A router with the given policy.
     #[must_use]
     pub fn new(policy: RouterPolicy) -> Router {
-        Router { policy, rr_next: 0 }
+        Router { policy, rr_next: 0, all_eligible: Vec::new() }
     }
 
     /// The policy in force.
@@ -123,8 +126,12 @@ impl Router {
     /// Panics if `loads` is empty.
     pub fn route(&mut self, id: u64, loads: &[NodeLoad]) -> RouteDecision {
         assert!(!loads.is_empty(), "cluster needs at least one node");
-        let all = vec![true; loads.len()];
-        self.route_among(id, loads, &all)
+        let mut all = std::mem::take(&mut self.all_eligible);
+        all.clear();
+        all.resize(loads.len(), true);
+        let decision = self.route_among(id, loads, &all);
+        self.all_eligible = all;
+        decision
     }
 
     /// Picks a destination for request `id` among the nodes whose

@@ -87,19 +87,21 @@ pub fn simulate_cluster(
         q.push(t, EventKind::Arrival { request });
     }
 
+    // Load-snapshot scratch, refilled per arrival: one allocation for the
+    // whole run instead of one per routed request.
+    let mut loads: Vec<NodeLoad> = Vec::with_capacity(n);
     let mut makespan = 0.0f64;
     while let Some(ev) = q.pop() {
         makespan = makespan.max(ev.time_s);
         match ev.kind {
             EventKind::Arrival { request } => {
-                let loads: Vec<NodeLoad> = (0..n)
-                    .map(|i| NodeLoad {
-                        backlog: in_flight[i]
-                            + engines[i].queued_len() as u64
-                            + engines[i].active_len() as u64,
-                        kv_tokens: in_flight_tokens[i] + engines[i].pledged_tokens(),
-                    })
-                    .collect();
+                loads.clear();
+                loads.extend((0..n).map(|i| NodeLoad {
+                    backlog: in_flight[i]
+                        + engines[i].queued_len() as u64
+                        + engines[i].active_len() as u64,
+                    kv_tokens: in_flight_tokens[i] + engines[i].pledged_tokens(),
+                }));
                 let decision = router.route(request.id, &loads);
                 // Pass-through bypasses the front-door link entirely: the
                 // request is already "at" the single node.
@@ -135,15 +137,29 @@ pub fn simulate_cluster(
             }
             EventKind::NodeReady { node } => {
                 ready_scheduled[node] = false;
-                if engines[node].is_drained() {
-                    continue;
-                }
-                let out = engines[node].run_round(ev.time_s);
-                busy_until[node] = out.end_s;
-                makespan = makespan.max(out.end_s);
-                if !engines[node].is_drained() {
-                    ready_scheduled[node] = true;
-                    q.push(out.end_s, EventKind::NodeReady { node });
+                let mut t = ev.time_s;
+                while !engines[node].is_drained() {
+                    let out = engines[node].run_round(t);
+                    busy_until[node] = out.end_s;
+                    makespan = makespan.max(out.end_s);
+                    t = out.end_s;
+                    // The wake-up we would push at `t` carries the
+                    // maximum kind rank and sequence number, so it pops
+                    // next iff every pending event is strictly later
+                    // (by `total_cmp`, the queue's time order) — in
+                    // that case run the next round inline and skip the
+                    // queue round-trip. Otherwise the pending event
+                    // must run first: fall back to the push.
+                    let next_round_pops_first = q
+                        .next_time()
+                        .is_none_or(|nt| nt.total_cmp(&t) == std::cmp::Ordering::Greater);
+                    if !next_round_pops_first {
+                        if !engines[node].is_drained() {
+                            ready_scheduled[node] = true;
+                            q.push(t, EventKind::NodeReady { node });
+                        }
+                        break;
+                    }
                 }
             }
             // Fault transitions and resilience timers are only ever

@@ -1,8 +1,8 @@
 //! The device-level AttAcc model: a board of PIM-enabled HBM stacks.
 
-use crate::attention::{attention_energy_j, stack_attention_timing, AttentionTiming, HeadJob};
+use crate::attention::{AttentionTiming, HeadJob, HEAD_OVERHEAD_S};
 use crate::{GemvPlacement, SoftmaxUnit};
-use attacc_hbm::HbmConfig;
+use attacc_hbm::{AccessDepth, HbmConfig};
 use attacc_model::ModelConfig;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
@@ -107,8 +107,22 @@ impl AttAccDevice {
         } else {
             (u64::from(model.n_head), 1)
         };
-        let mut critical: Vec<(u64, HeadJob)> = Vec::with_capacity(groups.len());
-        let mut device_total: Vec<(u64, HeadJob)> = Vec::with_capacity(groups.len());
+        // Fused critical-stack timing + device-energy pass: one loop over
+        // the groups, no intermediate job vectors. This sits on the decode
+        // hot path (one call per Gen iteration), so it must not allocate.
+        // Each accumulator's addition sequence matches the two-pass form in
+        // [`stack_attention_timing`] / [`attention_energy_j`] term for
+        // term, keeping the result bitwise identical to that reference.
+        let stack_bw = self.placement.stack_bandwidth_bytes_per_s(&self.hbm);
+        let t_rcd_s = self.hbm.timing.t_rcd as f64 * 1e-12;
+        let stream_pj_bit = self.placement.stream_energy_pj_per_bit(&self.hbm);
+        let ext_pj_bit = self.hbm.energy.streaming_pj_per_bit(AccessDepth::External, false);
+        let mut score_s = 0.0;
+        let mut context_s = 0.0;
+        let mut softmax_s = 0.0;
+        let mut heads_total = 0u64;
+        let mut max_l = 0u64;
+        let mut pj = 0.0;
         for &(n_requests, l) in groups {
             if n_requests == 0 {
                 continue;
@@ -118,18 +132,46 @@ impl AttAccDevice {
                 ..HeadJob::new(l, model.d_head, model.kv_dtype.bytes())
             };
             let heads = n_requests * heads_per_request;
-            critical.push((heads.div_ceil(stacks), job));
-            device_total.push((heads, job));
+            let on_critical = heads.div_ceil(stacks);
+            let n = on_critical as f64;
+            let t_half = t_rcd_s + job.k_bytes() as f64 / stack_bw;
+            score_s += n * t_half;
+            context_s += n * t_half;
+            softmax_s +=
+                n * job.q_per_kv.max(1) as f64 * self.softmax.pipelined_occupancy_s(job.l);
+            heads_total += on_critical;
+            max_l = max_l.max(job.l);
+            let dn = heads as f64;
+            let q = job.q_per_kv.max(1) as f64;
+            pj += dn * job.kv_bytes() as f64 * 8.0 * stream_pj_bit;
+            pj += dn * q * self.softmax.energy_pj(job.l);
+            let host_bytes = 2 * job.d_head * job.kv_dtype_bytes;
+            pj += dn * q * host_bytes as f64 * 8.0 * ext_pj_bit;
+            let score_bytes = 2 * job.l * 4; // FP32 scores to and from softmax
+            pj += dn * q * score_bytes as f64 * 8.0 * self.hbm.energy.tsv_pj_per_bit;
         }
-        let mut t = stack_attention_timing(
-            &self.hbm,
-            self.placement,
-            &self.softmax,
-            &critical,
-            pipelined,
-        );
-        t.energy_j = attention_energy_j(&self.hbm, self.placement, &self.softmax, &device_total);
-        t
+        let overhead = heads_total as f64 * HEAD_OVERHEAD_S;
+        let gemv_s = score_s + context_s + overhead;
+        let serial_s = score_s + context_s + softmax_s + overhead
+            + if heads_total > 0 {
+                self.softmax.latency_s(max_l) - self.softmax.pipelined_occupancy_s(max_l)
+            } else {
+                0.0
+            };
+        let pipelined_s = if heads_total == 0 {
+            0.0
+        } else {
+            gemv_s.max(softmax_s) + self.softmax.latency_s(max_l)
+        };
+        AttentionTiming {
+            score_s,
+            softmax_s,
+            context_s,
+            serial_s,
+            total_s: if pipelined { pipelined_s.min(serial_s) } else { serial_s },
+            energy_j: pj * 1e-12,
+            heads_on_critical_stack: heads_total,
+        }
     }
 
     /// KV bytes this device must hold for a batch of `(requests, l)` groups
@@ -227,6 +269,59 @@ mod tests {
         let a = plain.attention_decoder_time(&mha, &g, true).total_s;
         let b = systolic.attention_decoder_time(&mha, &g, true).total_s;
         assert!((a - b).abs() / a < 1e-9);
+    }
+
+    #[test]
+    fn fused_attention_pass_matches_two_pass_reference() {
+        use crate::attention::{attention_energy_j, stack_attention_timing};
+        use attacc_model::AttentionVariant;
+        // The fused single-loop implementation must be bitwise identical
+        // to composing the public two-pass building blocks, for plain and
+        // systolic devices, MHA and GQA, including zero-count groups.
+        let m_mha = ModelConfig::gpt3_175b();
+        let m_gqa = ModelConfig::gpt3_175b().with_attention(AttentionVariant::Gqa { group_size: 8 });
+        let groups = [(16u64, 1024u64), (0, 512), (7, 3072), (1, 64)];
+        for dev in [
+            AttAccDevice::paper_40_stacks(GemvPlacement::Bank),
+            AttAccDevice::paper_40_stacks(GemvPlacement::Buffer).with_systolic(),
+        ] {
+            for model in [&m_mha, &m_gqa] {
+                for pipelined in [false, true] {
+                    let stacks = u64::from(dev.n_stacks);
+                    let group = u64::from(model.attention.group_size(model.n_head));
+                    let (heads_per_request, q_per_kv) = if dev.systolic {
+                        (u64::from(model.kv_heads()), group)
+                    } else {
+                        (u64::from(model.n_head), 1)
+                    };
+                    let mut critical = Vec::new();
+                    let mut device_total = Vec::new();
+                    for &(n_requests, l) in &groups {
+                        if n_requests == 0 {
+                            continue;
+                        }
+                        let job = HeadJob {
+                            q_per_kv,
+                            ..HeadJob::new(l, model.d_head, model.kv_dtype.bytes())
+                        };
+                        let heads = n_requests * heads_per_request;
+                        critical.push((heads.div_ceil(stacks), job));
+                        device_total.push((heads, job));
+                    }
+                    let mut want = stack_attention_timing(
+                        &dev.hbm,
+                        dev.placement,
+                        &dev.softmax,
+                        &critical,
+                        pipelined,
+                    );
+                    want.energy_j =
+                        attention_energy_j(&dev.hbm, dev.placement, &dev.softmax, &device_total);
+                    let got = dev.attention_decoder_time(model, &groups, pipelined);
+                    assert_eq!(got, want, "pipelined={pipelined}");
+                }
+            }
+        }
     }
 
     #[test]

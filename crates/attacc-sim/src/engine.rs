@@ -19,7 +19,7 @@
 //! flag) → `ATTACC_THREADS` → `std::thread::available_parallelism()`.
 //! The cache can be disabled with `ATTACC_CACHE=0`.
 
-use crate::exec::StageBreakdown;
+use crate::exec::{AttAccGenParts, StageBreakdown};
 use attacc_model::ModelConfig;
 use attacc_serving::StageCost;
 use std::collections::hash_map::DefaultHasher;
@@ -39,6 +39,38 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// and the determinism tests.
 pub fn set_threads(threads: usize) {
     THREAD_OVERRIDE.store(threads, Ordering::SeqCst);
+}
+
+/// Process-wide fast-path override: 0 = environment default, 1 = forced
+/// off, 2 = forced on.
+static FASTPATH_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the analytic Gen-stage fast path on or off (`None` restores the
+/// `ATTACC_FASTPATH` environment default). The equivalence tests flip this
+/// to prove fast-path and exact-engine reports are byte-identical.
+pub fn set_fastpath(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    FASTPATH_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// Whether the analytic Gen-stage fast path is enabled right now:
+/// [`set_fastpath`] override → `ATTACC_FASTPATH` (`0` disables) → on.
+#[must_use]
+pub fn fastpath_enabled() -> bool {
+    match FASTPATH_OVERRIDE.load(Ordering::SeqCst) {
+        1 => false,
+        2 => true,
+        _ => {
+            static ENV: OnceLock<bool> = OnceLock::new();
+            *ENV.get_or_init(|| {
+                !std::env::var("ATTACC_FASTPATH").is_ok_and(|v| v.trim() == "0")
+            })
+        }
+    }
 }
 
 /// The thread count [`SweepRunner::from_env`] resolves to right now.
@@ -199,6 +231,14 @@ pub enum TimingQuery {
         /// Prompt length.
         l_in: u64,
     },
+    /// The rows-only op-graph aggregates of one `DGX+AttAccs` Gen
+    /// iteration (see [`AttAccGenParts`]); the attention term is computed
+    /// per `(count, context)` group at combine time, so the whole decode
+    /// iteration resolves through this single small-key probe.
+    GenParts {
+        /// Total decode rows (Σ group counts).
+        rows: u64,
+    },
 }
 
 /// A memoized timing result.
@@ -208,6 +248,8 @@ pub enum TimingValue {
     Gen(StageBreakdown),
     /// Result of a [`TimingQuery::Sum`] query.
     Sum(StageCost),
+    /// Result of a [`TimingQuery::GenParts`] query.
+    Parts(AttAccGenParts),
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -253,6 +295,30 @@ pub struct TimingCache {
     hits: AtomicU64,
     misses: AtomicU64,
     enabled: bool,
+    /// Distinguishes cache instances in the thread-local [`GenParts`]
+    /// memo so a stale entry from another cache can never be returned.
+    ///
+    /// [`GenParts`]: TimingQuery::GenParts
+    id: u64,
+    /// Bumped by [`TimingCache::clear`]; the thread-local memo records
+    /// the generation it was filled at and misses when it changes.
+    generation: AtomicU64,
+}
+
+/// One thread-local [`TimingQuery::GenParts`] memo entry:
+/// `(cache id, cache generation, system, model, rows, parts)`.
+type GenPartsMemoEntry = (u64, u64, u32, u32, u64, AttAccGenParts);
+
+thread_local! {
+    /// Last [`TimingQuery::GenParts`] probe per thread. Steady-state
+    /// decode probes the same key for every node round in an iteration,
+    /// so this answers most queries without touching a shard lock.
+    /// Purely an alias for the shard entry — hits count toward the
+    /// shared stats and values are the stored ones, so results (and the
+    /// report tables derived from them) are bit-identical with or without
+    /// the memo.
+    static GEN_PARTS_MEMO: std::cell::Cell<Option<GenPartsMemoEntry>> =
+        const { std::cell::Cell::new(None) };
 }
 
 impl std::fmt::Debug for TimingCache {
@@ -269,11 +335,14 @@ impl TimingCache {
     /// An empty cache. `enabled = false` makes every query compute.
     #[must_use]
     pub fn new(enabled: bool) -> TimingCache {
+        static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(0);
         TimingCache {
             shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             enabled,
+            id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -330,6 +399,46 @@ impl TimingCache {
         value
     }
 
+    /// The memoized rows-keyed Gen-iteration aggregates, computing on
+    /// miss. Unlike [`TimingCache::gen_breakdown`] the key is a single
+    /// `u64`, so no per-probe allocation and one entry covers every
+    /// context mix with the same row total.
+    pub fn gen_parts(
+        &self,
+        system: u32,
+        model: u32,
+        rows: u64,
+        compute: impl FnOnce() -> AttAccGenParts,
+    ) -> AttAccGenParts {
+        if !self.enabled {
+            return compute();
+        }
+        let generation = self.generation.load(Ordering::Relaxed);
+        if let Some((id, gen, sys, mdl, r, p)) = GEN_PARTS_MEMO.get() {
+            if id == self.id && gen == generation && sys == system && mdl == model && r == rows {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return p;
+            }
+        }
+        let key = CacheKey { system, model, query: TimingQuery::GenParts { rows } };
+        let value = if let Some(TimingValue::Parts(p)) = self.lookup(&key) {
+            p
+        } else {
+            let value = compute();
+            self.store(key, TimingValue::Parts(value));
+            value
+        };
+        GEN_PARTS_MEMO.set(Some((self.id, generation, system, model, rows, value)));
+        value
+    }
+
+    /// Whether this cache memoizes at all (`ATTACC_CACHE=0` disables the
+    /// global one).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// The memoized Sum-stage cost, computing on miss.
     pub fn sum_cost(
         &self,
@@ -369,6 +478,9 @@ impl TimingCache {
         for shard in &self.shards {
             shard.lock().expect("cache shard lock").clear();
         }
+        // Invalidate every thread's GenParts memo: each records the
+        // generation it was filled at and rechecks it on use.
+        self.generation.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Hit/miss counters since construction or the last reset.

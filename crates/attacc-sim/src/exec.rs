@@ -38,6 +38,33 @@ pub struct StageBreakdown {
     pub utilization: f64,
 }
 
+/// Rows-only aggregates of one `DGX+AttAccs` Gen iteration's op graph.
+///
+/// Every decoder and head op except `Op::Attention` and `Op::KvAppend`
+/// depends only on the total decode row count (the op builder derives
+/// their shapes from `rows` plus model constants), so these sums are
+/// memoizable keyed by `rows` alone — see `TimingQuery::GenParts`. The
+/// per-`(count, context)` attention term is folded back in by the shared
+/// combine step, and the decomposition is checked bitwise against the
+/// exact op-graph walk the first time each (system, model, rows) cell is
+/// seen.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct AttAccGenParts {
+    qkv_s: f64,
+    proj_s: f64,
+    ff_mem_s: f64,
+    ff_comp_s: f64,
+    ff_launch_s: f64,
+    other_s: f64,
+    gpu_flops: f64,
+    gpu_bytes: f64,
+    rows: u64,
+    head_s: f64,
+    head_flops: f64,
+    head_bytes: f64,
+}
+
 /// Executes Sum/Gen stages of `model` on `system`.
 ///
 /// Timing queries are memoized in [`TimingCache::global`]; the cache key
@@ -94,13 +121,46 @@ impl SystemExecutor {
     /// memoized in the global [`TimingCache`].
     #[must_use]
     pub fn gen_stage_detail(&self, groups: &[(u64, u64)]) -> StageBreakdown {
-        let groups: Vec<(u64, u64)> = groups.iter().copied().filter(|&(n, _)| n > 0).collect();
+        if groups.iter().any(|&(n, _)| n == 0) {
+            let filtered: Vec<(u64, u64)> =
+                groups.iter().copied().filter(|&(n, _)| n > 0).collect();
+            return self.gen_stage_detail_normalized(&filtered);
+        }
+        self.gen_stage_detail_normalized(groups)
+    }
+
+    /// [`SystemExecutor::gen_stage_detail`] after zero-count groups have
+    /// been dropped.
+    fn gen_stage_detail_normalized(&self, groups: &[(u64, u64)]) -> StageBreakdown {
         if groups.is_empty() {
             return StageBreakdown::default();
         }
         let (system, model) = self.cache_ids();
-        TimingCache::global()
-            .gen_breakdown(system, model, &groups, || self.gen_stage_detail_uncached(&groups))
+        let cache = TimingCache::global();
+        if let SystemKind::DgxAttAcc { head_level_pipelining, ff_coprocessing } = self.system.kind {
+            if cache.is_enabled() && engine::fastpath_enabled() {
+                let rows: u64 = groups.iter().map(|&(n, _)| n).sum();
+                let mut fresh = false;
+                let parts = cache.gen_parts(system, model, rows, || {
+                    fresh = true;
+                    self.attacc_gen_parts(&StageWorkload::gen_with_contexts(&self.model, groups))
+                });
+                let fast =
+                    self.attacc_combine(&parts, groups, head_level_pipelining, ff_coprocessing);
+                if fresh {
+                    // First sighting of this (system, model, rows) cell:
+                    // prove the rows-keyed decomposition against the exact
+                    // op-graph walk before trusting it on cache hits.
+                    let exact = self.gen_stage_detail_uncached(groups);
+                    assert_eq!(
+                        fast, exact,
+                        "analytic Gen fast path diverged from the exact engine at rows={rows}"
+                    );
+                }
+                return fast;
+            }
+        }
+        cache.gen_breakdown(system, model, groups, || self.gen_stage_detail_uncached(groups))
     }
 
     /// [`SystemExecutor::gen_stage_detail`] bypassing the cache. Groups
@@ -108,8 +168,7 @@ impl SystemExecutor {
     /// normalizes them).
     #[must_use]
     pub fn gen_stage_detail_uncached(&self, groups: &[(u64, u64)]) -> StageBreakdown {
-        let groups: Vec<(u64, u64)> = groups.to_vec();
-        let wl = StageWorkload::gen_with_contexts(&self.model, &groups);
+        let wl = StageWorkload::gen_with_contexts(&self.model, groups);
         match self.system.kind {
             SystemKind::DgxBase | SystemKind::DgxLarge | SystemKind::TwoDgx => {
                 let t = self.system.gpu.stage_time(&wl);
@@ -123,11 +182,11 @@ impl SystemExecutor {
                     utilization: t.utilization,
                 }
             }
-            SystemKind::DgxCpu => self.gen_stage_cpu(&wl, &groups),
+            SystemKind::DgxCpu => self.gen_stage_cpu(&wl, groups),
             SystemKind::DgxAttAcc {
                 head_level_pipelining,
                 ff_coprocessing,
-            } => self.gen_stage_attacc(&wl, &groups, head_level_pipelining, ff_coprocessing),
+            } => self.gen_stage_attacc(&wl, groups, head_level_pipelining, ff_coprocessing),
         }
     }
 
@@ -194,62 +253,81 @@ impl SystemExecutor {
         hl_pipe: bool,
         ff_coproc: bool,
     ) -> StageBreakdown {
-        let attacc = self.system.attacc.as_ref().expect("DgxAttAcc has a PIM device");
-        let gpu = &self.system.gpu;
-        let dev = &gpu.device;
+        let parts = self.attacc_gen_parts(wl);
+        self.attacc_combine(&parts, groups, hl_pipe, ff_coproc)
+    }
 
-        let mut qkv_s = 0.0;
-        let mut proj_s = 0.0;
-        let mut ff_mem_s = 0.0;
-        let mut ff_comp_s = 0.0;
-        let mut ff_launch_s = 0.0;
-        let mut other_s = 0.0;
-        let mut gpu_flops = 0.0;
-        let mut gpu_bytes = 0.0;
-        let mut rows = 0u64;
+    /// The rows-only op-graph sums of one `DGX+AttAccs` Gen iteration:
+    /// everything except the attention term, which `attacc_combine` folds
+    /// in per `(count, context)` group.
+    fn attacc_gen_parts(&self, wl: &StageWorkload) -> AttAccGenParts {
+        let dev = &self.system.gpu.device;
+        let mut p = AttAccGenParts::default();
         for op in &wl.decoder_ops {
             match op {
                 Op::Attention { .. } | Op::KvAppend { .. } => continue,
                 Op::Gemm { layer, .. } => {
                     let t = dev.op_time_s(op);
                     match layer {
-                        FcLayer::QkvGen => qkv_s += t,
-                        FcLayer::Projection => proj_s += t,
+                        FcLayer::QkvGen => p.qkv_s += t,
+                        FcLayer::Projection => p.proj_s += t,
                         _ if layer.is_feedforward() => {
-                            ff_mem_s += dev.memory_time_s(op);
-                            ff_comp_s += dev.compute_time_s(op);
-                            ff_launch_s += dev.launch_s;
+                            p.ff_mem_s += dev.memory_time_s(op);
+                            p.ff_comp_s += dev.compute_time_s(op);
+                            p.ff_launch_s += dev.launch_s;
                         }
-                        _ => other_s += t,
+                        _ => p.other_s += t,
                     }
-                    gpu_flops += op.flops() as f64;
-                    gpu_bytes += op.traffic().total() as f64;
+                    p.gpu_flops += op.flops() as f64;
+                    p.gpu_bytes += op.traffic().total() as f64;
                 }
                 Op::Activation { .. } => {
                     // The GELU between FF1 and FF2 belongs to the
                     // (possibly co-processed) feedforward phase.
-                    ff_mem_s += dev.memory_time_s(op);
-                    ff_comp_s += dev.compute_time_s(op);
-                    ff_launch_s += dev.launch_s;
-                    gpu_flops += op.flops() as f64;
-                    gpu_bytes += op.traffic().total() as f64;
+                    p.ff_mem_s += dev.memory_time_s(op);
+                    p.ff_comp_s += dev.compute_time_s(op);
+                    p.ff_launch_s += dev.launch_s;
+                    p.gpu_flops += op.flops() as f64;
+                    p.gpu_bytes += op.traffic().total() as f64;
                 }
                 _ => {
-                    other_s += dev.op_time_s(op);
-                    gpu_flops += op.flops() as f64;
-                    gpu_bytes += op.traffic().total() as f64;
+                    p.other_s += dev.op_time_s(op);
+                    p.gpu_flops += op.flops() as f64;
+                    p.gpu_bytes += op.traffic().total() as f64;
                     if let Op::LayerNorm { rows: r, .. } = op {
-                        rows = *r;
+                        p.rows = *r;
                     }
                 }
             }
         }
+        // LM head and final layernorm on the GPU (once per stage).
+        for op in &wl.head_ops {
+            p.head_s += dev.op_time_s(op);
+            p.head_flops += op.flops() as f64;
+            p.head_bytes += op.traffic().total() as f64;
+        }
+        p
+    }
+
+    /// Folds the per-group attention term into the rows-only aggregates.
+    /// Shared verbatim by the exact and fast paths, so both produce
+    /// bit-identical breakdowns by construction.
+    fn attacc_combine(
+        &self,
+        p: &AttAccGenParts,
+        groups: &[(u64, u64)],
+        hl_pipe: bool,
+        ff_coproc: bool,
+    ) -> StageBreakdown {
+        let attacc = self.system.attacc.as_ref().expect("DgxAttAcc has a PIM device");
+        let gpu = &self.system.gpu;
+        let dev = &gpu.device;
 
         // Attention on AttAcc (attention-level pipelining always on).
         let attn = attacc.attention_decoder_time(&self.model, groups, true);
 
         // Per-decoder bridge transfers (Q/K/V in, outputs back).
-        let bridge_bytes = self.decoder_bridge_bytes(rows);
+        let bridge_bytes = self.decoder_bridge_bytes(p.rows);
         let xfer_s = self.system.bridge.transfer_s(bridge_bytes);
 
         // Feedforward phase, possibly co-processed (§6.2).
@@ -258,18 +336,18 @@ impl SystemExecutor {
                 dev.mem_bw * dev.mem_eff,
                 attacc.external_bandwidth() * dev.mem_eff,
             );
-            ff_comp_s.max(ff_mem_s * factor) + ff_launch_s
+            p.ff_comp_s.max(p.ff_mem_s * factor) + p.ff_launch_s
         } else {
-            ff_comp_s.max(ff_mem_s) + ff_launch_s
+            p.ff_comp_s.max(p.ff_mem_s) + p.ff_launch_s
         };
 
         let phases = DecoderPhases {
-            qkv_s,
+            qkv_s: p.qkv_s,
             attn_s: attn.total_s,
-            proj_s,
+            proj_s: p.proj_s,
             ff_s,
-            other_s: other_s + xfer_s,
-            comm_s: gpu.decoder_comm_s(rows, self.model.d_emb, self.model.dtype.bytes()),
+            other_s: p.other_s + xfer_s,
+            comm_s: gpu.decoder_comm_s(p.rows, self.model.d_emb, self.model.dtype.bytes()),
         };
         let decoder_s = if hl_pipe {
             head_level_pipelined_s(&phases, u64::from(self.model.n_head))
@@ -277,29 +355,19 @@ impl SystemExecutor {
             serial_s(&phases)
         };
 
-        // LM head and final layernorm on the GPU (once per stage).
-        let mut head_s = 0.0;
-        let mut head_flops = 0.0;
-        let mut head_bytes = 0.0;
-        for op in &wl.head_ops {
-            head_s += dev.op_time_s(op);
-            head_flops += op.flops() as f64;
-            head_bytes += op.traffic().total() as f64;
-        }
-
         let n_dec = f64::from(self.model.n_decoder);
-        let total = decoder_s * n_dec + head_s;
-        let stage_flops = gpu_flops * n_dec + head_flops;
-        let stage_bytes = gpu_bytes * n_dec + head_bytes;
+        let total = decoder_s * n_dec + p.head_s;
+        let stage_flops = p.gpu_flops * n_dec + p.head_flops;
+        let stage_bytes = p.gpu_bytes * n_dec + p.head_bytes;
 
         let gpu_energy = gpu.energy.execution_j(stage_flops, stage_bytes, total);
         let attacc_energy = attn.energy_j * n_dec + ATTACC_STATIC_W * total;
         let link_energy = gpu.energy.link_j(bridge_bytes as f64 * n_dec);
 
         StageBreakdown {
-            fc_s: (qkv_s + proj_s + ff_s) * n_dec + head_s,
+            fc_s: (p.qkv_s + p.proj_s + ff_s) * n_dec + p.head_s,
             attn_s: attn.total_s * n_dec,
-            other_s: (other_s + xfer_s) * n_dec,
+            other_s: (p.other_s + xfer_s) * n_dec,
             comm_s: phases.comm_s * n_dec,
             total_s: total,
             energy_j: gpu_energy + attacc_energy + link_energy,

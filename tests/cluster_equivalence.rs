@@ -185,6 +185,28 @@ fn cluster_report_is_byte_identical_cold_and_warm_cache() {
 }
 
 #[test]
+fn reports_are_byte_identical_with_fast_path_forced_on_and_off() {
+    // The analytic steady-state fast path (ATTACC_FASTPATH, forced here
+    // via the programmatic override) must be an *identity* over the
+    // exact command-level engine: the golden cluster and chaos frontiers
+    // rendered with the fast path forced off and forced on have to match
+    // byte for byte, cold cache both times.
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    let render = |fastpath: bool| {
+        engine::set_fastpath(Some(fastpath));
+        TimingCache::global().clear();
+        let cluster = attacc_bench::cluster_frontier(24).to_string();
+        let chaos = attacc_bench::chaos_goodput_frontier(24).to_string();
+        (cluster, chaos)
+    };
+    let exact = render(false);
+    let fast = render(true);
+    engine::set_fastpath(None); // restore the ATTACC_FASTPATH env default
+    assert_eq!(exact.0, fast.0, "fast path changed the cluster frontier");
+    assert_eq!(exact.1, fast.1, "fast path changed the chaos goodput frontier");
+}
+
+#[test]
 fn integrity_with_zero_ber_is_bit_exact_with_cluster() {
     use attacc::chaos::{
         simulate_chaos, simulate_integrity, ChaosConfig, CorruptionSpec, FaultSchedule,

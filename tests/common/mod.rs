@@ -1,0 +1,94 @@
+//! Shared fixtures for the integration-test suites.
+//!
+//! The cross-fidelity suites all probe the same paper configuration —
+//! HBM3 8-high stacks, the 40-stack AttAcc device with bank-level GEMV,
+//! GPT-3 175B, fp16 KV — so the builders live here once. Each test file
+//! pulls them in with `mod common;`; `dead_code` is allowed because no
+//! single suite uses every fixture.
+
+#![allow(dead_code)]
+
+use attacc::hbm::HbmConfig;
+use attacc::model::{KvCacheSpec, ModelConfig};
+use attacc::pim::attention::HeadJob;
+use attacc::pim::{AttAccDevice, GemvPlacement, SoftmaxUnit};
+use attacc::serving::{simulate, SchedulerConfig, Workload};
+use attacc::sim::experiment::analytic_serve;
+use attacc::sim::{System, SystemExecutor};
+
+/// The paper's device-level stack: HBM3 8-high, the evaluated softmax
+/// unit, the 40-stack AttAcc appliance, and GPT-3 175B.
+pub struct PaperRig {
+    /// HBM3 8-high stack configuration.
+    pub hbm: HbmConfig,
+    /// The near-bank softmax unit.
+    pub softmax: SoftmaxUnit,
+    /// 40-stack AttAcc device with the given GEMV placement.
+    pub device: AttAccDevice,
+    /// GPT-3 175B.
+    pub model: ModelConfig,
+}
+
+/// The paper rig with bank-level GEMV placement (the headline config).
+#[must_use]
+pub fn paper_rig() -> PaperRig {
+    PaperRig {
+        hbm: HbmConfig::hbm3_8hi(),
+        softmax: SoftmaxUnit::new(),
+        device: AttAccDevice::paper_40_stacks(GemvPlacement::Bank),
+        model: ModelConfig::gpt3_175b(),
+    }
+}
+
+/// One GPT-3-shaped attention head over an `l`-token context: `d_head`
+/// 128, fp16 KV (2 bytes/element).
+#[must_use]
+pub fn head_job(l: u64) -> HeadJob {
+    HeadJob::new(l, 128, 2)
+}
+
+/// Asserts the iteration-level scheduler and the steady-state analytic
+/// serving model agree on total time and energy within `tol` (relative)
+/// for `n` fixed `(l_in, l_out)` requests at the given batch size on
+/// `system`, running GPT-3 175B with the system's real KV capacity.
+pub fn assert_sim_matches_analytic(
+    system: System,
+    n: u64,
+    l_in: u64,
+    l_out: u64,
+    batch: u64,
+    tol: f64,
+) {
+    let model = ModelConfig::gpt3_175b();
+    let exec = SystemExecutor::new(system.clone(), &model);
+    let (analytic_t, analytic_e) = analytic_serve(&exec, l_in, l_out, n, batch);
+
+    let wl = Workload::fixed(n, l_in, l_out);
+    let spec = KvCacheSpec::of(&model);
+    let cfg = SchedulerConfig::with_capacity(
+        batch,
+        system.kv_capacity_bytes(&model),
+        spec.bytes_per_token,
+    );
+    let sim = simulate(&exec, &wl.requests(), &cfg);
+    assert_eq!(sim.tokens_generated, n * l_out);
+
+    let t_err = (sim.total_time_s - analytic_t).abs() / sim.total_time_s;
+    assert!(
+        t_err < tol,
+        "{}: sim {:.2}s vs analytic {:.2}s (err {:.1}%)",
+        system.name(),
+        sim.total_time_s,
+        analytic_t,
+        100.0 * t_err
+    );
+    let e_err = (sim.energy_j - analytic_e).abs() / sim.energy_j;
+    assert!(
+        e_err < tol,
+        "{}: sim {:.0}J vs analytic {:.0}J (err {:.1}%)",
+        system.name(),
+        sim.energy_j,
+        analytic_e,
+        100.0 * e_err
+    );
+}

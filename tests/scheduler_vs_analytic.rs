@@ -1,64 +1,31 @@
 //! The steady-state analytic serving model used by the figure sweeps must
 //! agree with the discrete-event iteration-level scheduler.
 
-use attacc::model::{KvCacheSpec, ModelConfig};
+mod common;
+
+use attacc::model::ModelConfig;
 use attacc::serving::{simulate, SchedulerConfig, Workload};
-use attacc::sim::experiment::analytic_serve;
 use attacc::sim::{System, SystemExecutor};
-
-fn check(system: System, n: u64, l_in: u64, l_out: u64, batch: u64, tol: f64) {
-    let model = ModelConfig::gpt3_175b();
-    let exec = SystemExecutor::new(system.clone(), &model);
-    let (analytic_t, analytic_e) = analytic_serve(&exec, l_in, l_out, n, batch);
-
-    let wl = Workload::fixed(n, l_in, l_out);
-    let spec = KvCacheSpec::of(&model);
-    let cfg = SchedulerConfig::with_capacity(
-        batch,
-        system.kv_capacity_bytes(&model),
-        spec.bytes_per_token,
-    );
-    let sim = simulate(&exec, &wl.requests(), &cfg);
-    assert_eq!(sim.tokens_generated, n * l_out);
-
-    let t_err = (sim.total_time_s - analytic_t).abs() / sim.total_time_s;
-    assert!(
-        t_err < tol,
-        "{}: sim {:.2}s vs analytic {:.2}s (err {:.1}%)",
-        system.name(),
-        sim.total_time_s,
-        analytic_t,
-        100.0 * t_err
-    );
-    let e_err = (sim.energy_j - analytic_e).abs() / sim.energy_j;
-    assert!(
-        e_err < tol,
-        "{}: sim {:.0}J vs analytic {:.0}J (err {:.1}%)",
-        system.name(),
-        sim.energy_j,
-        analytic_e,
-        100.0 * e_err
-    );
-}
+use common::assert_sim_matches_analytic;
 
 #[test]
 fn analytic_matches_simulation_on_dgx_base() {
-    check(System::dgx_base(), 64, 256, 64, 16, 0.10);
+    assert_sim_matches_analytic(System::dgx_base(), 64, 256, 64, 16, 0.10);
 }
 
 #[test]
 fn analytic_matches_simulation_on_dgx_attacc() {
-    check(System::dgx_attacc_full(), 64, 256, 64, 16, 0.10);
+    assert_sim_matches_analytic(System::dgx_attacc_full(), 64, 256, 64, 16, 0.10);
 }
 
 #[test]
 fn analytic_matches_simulation_small_batch() {
-    check(System::dgx_base(), 24, 128, 32, 4, 0.10);
+    assert_sim_matches_analytic(System::dgx_base(), 24, 128, 32, 4, 0.10);
 }
 
 #[test]
 fn analytic_matches_simulation_batch_of_one() {
-    check(System::dgx_attacc_full(), 8, 128, 16, 1, 0.12);
+    assert_sim_matches_analytic(System::dgx_attacc_full(), 8, 128, 16, 1, 0.12);
 }
 
 #[test]

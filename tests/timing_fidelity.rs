@@ -2,28 +2,21 @@
 //! model, the per-head command schedule, and the event-driven DRAM engine
 //! must tell the same story.
 
-use attacc::hbm::HbmConfig;
-use attacc::model::ModelConfig;
-use attacc::pim::attention::HeadJob;
-use attacc::pim::{execute_head, schedule_head, AttAccDevice, GemvPlacement, SoftmaxUnit};
+mod common;
 
-fn job(l: u64) -> HeadJob {
-    HeadJob::new(l, 128, 2)
-}
+use attacc::pim::{execute_head, schedule_head, GemvPlacement};
+use common::{head_job, paper_rig};
 
 #[test]
 fn device_model_matches_engine_per_head() {
     // The device charges heads.div_ceil(stacks) per critical stack; with
     // exactly n_stacks × k heads the per-head times must align with the
     // engine's trace within the closed form's tolerance.
-    let hbm = HbmConfig::hbm3_8hi();
-    let sm = SoftmaxUnit::new();
-    let dev = AttAccDevice::paper_40_stacks(GemvPlacement::Bank);
-    let m = ModelConfig::gpt3_175b();
+    let rig = paper_rig();
     for l in [2048u64, 4096] {
         // 40 stacks × 96 heads/request ⇒ 40 requests put 96 heads/stack.
-        let t_dev = dev.attention_decoder_time(&m, &[(40, l)], false).serial_s;
-        let trace = execute_head(&hbm, GemvPlacement::Bank, &sm, job(l));
+        let t_dev = rig.device.attention_decoder_time(&rig.model, &[(40, l)], false).serial_s;
+        let trace = execute_head(&rig.hbm, GemvPlacement::Bank, &rig.softmax, head_job(l));
         let t_engine = trace.serial_s() * 96.0;
         let err = (t_dev - t_engine).abs() / t_engine;
         assert!(
@@ -36,11 +29,10 @@ fn device_model_matches_engine_per_head() {
 
 #[test]
 fn schedule_and_engine_agree_across_placements() {
-    let hbm = HbmConfig::hbm3_8hi();
-    let sm = SoftmaxUnit::new();
+    let rig = paper_rig();
     for placement in [GemvPlacement::Bank, GemvPlacement::BankGroup, GemvPlacement::Buffer] {
-        let sched = schedule_head(&hbm, placement, &sm, job(4096));
-        let trace = execute_head(&hbm, placement, &sm, job(4096));
+        let sched = schedule_head(&rig.hbm, placement, &rig.softmax, head_job(4096));
+        let trace = execute_head(&rig.hbm, placement, &rig.softmax, head_job(4096));
         let engine = trace.score_s + trace.softmax_s + trace.context_s;
         let err = (sched.total_s - engine).abs() / engine;
         assert!(
@@ -55,11 +47,10 @@ fn schedule_and_engine_agree_across_placements() {
 fn engine_mac_counts_match_device_traffic() {
     // The bytes the engine actually reads equal the KV traffic the
     // analytical model charges (per head, both K and V).
-    let hbm = HbmConfig::hbm3_8hi();
-    let sm = SoftmaxUnit::new();
-    let j = job(8192);
-    let trace = execute_head(&hbm, GemvPlacement::Bank, &sm, j);
-    let engine_bytes = trace.mac_commands * hbm.geometry.prefetch_bytes;
+    let rig = paper_rig();
+    let j = head_job(8192);
+    let trace = execute_head(&rig.hbm, GemvPlacement::Bank, &rig.softmax, j);
+    let engine_bytes = trace.mac_commands * rig.hbm.geometry.prefetch_bytes;
     let model_bytes = j.kv_bytes();
     let over = engine_bytes as f64 / model_bytes as f64;
     assert!(
@@ -72,11 +63,10 @@ fn engine_mac_counts_match_device_traffic() {
 fn placement_ratios_consistent_at_every_level() {
     // 9:3:1 must emerge identically from the analytic placement model,
     // the engine, and the end-to-end device.
-    let hbm = HbmConfig::hbm3_8hi();
-    let sm = SoftmaxUnit::new();
-    let analytic = |p: GemvPlacement| p.relative_bandwidth(&hbm);
+    let rig = paper_rig();
+    let analytic = |p: GemvPlacement| p.relative_bandwidth(&rig.hbm);
     let engine = |p: GemvPlacement| {
-        let t = execute_head(&hbm, p, &sm, job(16 * 1024));
+        let t = execute_head(&rig.hbm, p, &rig.softmax, head_job(16 * 1024));
         1.0 / (t.score_s + t.context_s)
     };
     let a_ratio = analytic(GemvPlacement::Bank) / analytic(GemvPlacement::BankGroup);
