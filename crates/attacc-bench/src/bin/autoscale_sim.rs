@@ -1,0 +1,11 @@
+//! Prints the autoscaling frontier: static vs. autoscaled vs.
+//! disaggregated fleets replaying the same 10⁵-session diurnal +
+//! flash-crowd trace. Pass `--serial` to pin the sweep engine to one
+//! thread (or set `ATTACC_THREADS`), `--quiet` to suppress the stderr
+//! stats footer, `--budget BENCH_autoscale.json` to enforce the wall-time
+//! baseline.
+fn main() {
+    attacc_bench::harness::run("autoscale_sim", || {
+        vec![attacc_bench::autoscale_frontier(attacc_bench::AUTOSCALE_SESSIONS)]
+    });
+}

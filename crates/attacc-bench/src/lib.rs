@@ -16,7 +16,8 @@ use attacc_chaos::{
     FaultSpec, HealthConfig, IntegrityReport, Protection, RecoveryMode, ResiliencePolicy,
 };
 use attacc_cluster::{
-    simulate_cluster, ClusterConfig, InterconnectModel, RouterPolicy, SloSpec,
+    simulate_cluster, simulate_fleet, AutoscalerConfig, ClusterConfig, FleetConfig, FleetReport,
+    InterconnectModel, PoolConfig, RouterPolicy, ScaleSignal, SloSpec,
 };
 use attacc_model::{DataType, KvCacheSpec, ModelConfig, GIB};
 use attacc_pim::bitwise::{bank_pim_speedup, BankPimModel, BulkBitwiseModel};
@@ -25,7 +26,9 @@ use attacc_sim::experiment::{
     alternatives_study, batching_study, bitwidth_study, end_to_end, gen_stage_fraction,
     gqa_ablation, placement_study, roofline_rows, slo_study,
 };
-use attacc_serving::{ArrivalWorkload, RetryPolicy, SchedulerConfig, StageExecutor};
+use attacc_serving::{
+    ArrivalWorkload, FlashCrowd, RetryPolicy, SchedulerConfig, StageExecutor, TraceSpec,
+};
 use attacc_sim::validate::validate_opt66b;
 use attacc_sim::{SweepRunner, System, SystemExecutor, Table};
 
@@ -671,6 +674,198 @@ pub fn cluster_load_shapes(n_requests: u64) -> Table {
             n(r.ttft.p99_s * 1e3),
             n(r.tbt.p99_s * 1e3),
             n(r.goodput.goodput_tokens_per_s),
+        ]);
+    }
+    t
+}
+
+/// Sessions in the full-scale `autoscale_sim` run: the 10⁵-session
+/// acceptance point of the autoscaling frontier.
+pub const AUTOSCALE_SESSIONS: u64 = 100_000;
+
+/// Virtual length of the autoscale trace "day" (s). The mean arrival
+/// rate is `sessions / AUTOSCALE_DAY_S`, so every session count replays
+/// the same diurnal + flash-crowd shape — only denser.
+pub const AUTOSCALE_DAY_S: f64 = 250.0;
+
+/// The diurnal + flash-crowd trace the autoscaling frontier replays:
+/// a 120 s-period ±60 % diurnal swing carrying a 3× flash crowd near the
+/// first trough-to-peak climb and a 2× echo late in the day.
+#[must_use]
+pub fn autoscale_trace(sessions: u64) -> ArrivalWorkload {
+    TraceSpec {
+        sessions,
+        mean_rate_per_s: sessions as f64 / AUTOSCALE_DAY_S,
+        diurnal_amplitude: 0.6,
+        diurnal_period_s: 120.0,
+        crowds: vec![
+            FlashCrowd { start_s: 60.0, peak: 3.0, ramp_s: 5.0, hold_s: 15.0, decay_s: 10.0 },
+            FlashCrowd { start_s: 170.0, peak: 2.0, ramp_s: 10.0, hold_s: 20.0, decay_s: 15.0 },
+        ],
+        l_in: 512,
+        l_out_range: (64, 128),
+        seed: 42,
+    }
+    .generate()
+}
+
+/// One named fleet configuration of the autoscaling frontier.
+struct FleetCell {
+    name: &'static str,
+    prefill: Option<PoolConfig>,
+    decode: PoolConfig,
+    autoscaler: Option<AutoscalerConfig>,
+}
+
+/// The autoscaler the frontier cells share: the scaler moves at most one
+/// node per pool per tick, so a 0.5 s tick lets a pool climb ~2 nodes/s
+/// against the trace's 5 s flash-crowd ramp. Only the signal varies.
+fn autoscale_policy(signal: ScaleSignal) -> AutoscalerConfig {
+    AutoscalerConfig { interval_s: 0.5, cold_start_s: 2.0, cooldown_s: 1.5, signal }
+}
+
+/// The fleet configurations the frontier compares, sized from the trace's
+/// mean token demand: `sat` nodes hold the diurnal mean, static fleets
+/// provision for the diurnal peak (1.6×), elastic fleets may burst to 2×.
+fn autoscale_cells(sessions: u64) -> Vec<FleetCell> {
+    // One DGX+AttAccs node sustains ~740 output tokens/s at these
+    // lengths (see the cluster frontier); mean l_out is 96.
+    let demand_tok_s = sessions as f64 / AUTOSCALE_DAY_S * 96.0;
+    let sat = ((demand_tok_s / 740.0).ceil() as usize).max(1);
+    let peak = ((sat as f64 * 1.6).ceil() as usize).max(2);
+    let burst = (2 * sat).max(3);
+    let lo = (sat / 4).max(1);
+    // Elastic pools start at the diurnal mean: the scaler's job is to
+    // track the swing and the crowds, not to bootstrap a cold fleet.
+    let mid = sat;
+    // Disaggregated split: a request costs a node ~100 ms of Sum but
+    // only ~25 ms of batch-amortized Gen at L_in 512 / mean L_out 96,
+    // so the prefill pool carries ~4/5 of the fleet's work.
+    let p_static = (peak * 4 / 5).max(1);
+    let d_static = (peak * 3 / 10).max(1);
+    let p_burst = (2 * p_static).max(2);
+    let d_burst = (2 * d_static).max(2);
+    // Backlog counts running heads too, so a healthy saturated node
+    // reads ~64 (the batch cap): scale out at 96 (≥ 32 truly queued),
+    // in below 24. A node drains ~7.7 req/s at mean l_out 96; KV
+    // occupancy at full batch is ~0.55 of the post-weights HBM.
+    let queue = ScaleSignal::QueueDepth { out_per_node: 96.0, in_per_node: 24.0 };
+    let kv = ScaleSignal::KvOccupancy { out_frac: 0.35, in_frac: 0.10 };
+    let ewma = ScaleSignal::PredictedLoad {
+        alpha: 0.3,
+        out_rate_per_node: 9.0,
+        in_rate_per_node: 5.5,
+    };
+    vec![
+        FleetCell {
+            name: "static-mono",
+            prefill: None,
+            decode: PoolConfig::fixed(peak),
+            autoscaler: None,
+        },
+        FleetCell {
+            name: "auto-mono-queue",
+            prefill: None,
+            decode: PoolConfig::elastic(lo, mid, burst),
+            autoscaler: Some(autoscale_policy(queue)),
+        },
+        FleetCell {
+            name: "auto-mono-kv",
+            prefill: None,
+            decode: PoolConfig::elastic(lo, mid, burst),
+            autoscaler: Some(autoscale_policy(kv)),
+        },
+        FleetCell {
+            name: "auto-mono-ewma",
+            prefill: None,
+            decode: PoolConfig::elastic(lo, mid, burst),
+            autoscaler: Some(autoscale_policy(ewma)),
+        },
+        FleetCell {
+            name: "static-disagg",
+            prefill: Some(PoolConfig::fixed(p_static)),
+            decode: PoolConfig::fixed(d_static),
+            autoscaler: None,
+        },
+        // The elastic disaggregated fleet floors each pool at its static
+        // sizing and only rents burst headroom: a shared queue threshold
+        // cannot also govern scale-in across pools whose healthy
+        // backlogs differ 60× (decode counts its running batch, prefill
+        // drains each Sum in ~100 ms).
+        FleetCell {
+            name: "auto-disagg-queue",
+            prefill: Some(PoolConfig::elastic(p_static, p_static, p_burst)),
+            decode: PoolConfig::elastic(d_static, d_static, d_burst),
+            autoscaler: Some(autoscale_policy(queue)),
+        },
+    ]
+}
+
+fn fleet_cell(model: &ModelConfig, cell: &FleetCell, workload: &ArrivalWorkload) -> FleetReport {
+    let p_max = cell.prefill.map_or(0, |p| p.max_nodes);
+    let execs: Vec<SystemExecutor> = (0..p_max + cell.decode.max_nodes)
+        .map(|_| SystemExecutor::new(System::dgx_attacc_full(), model))
+        .collect();
+    let refs: Vec<&dyn StageExecutor> = execs.iter().map(|e| e as &dyn StageExecutor).collect();
+    let cfg = FleetConfig {
+        prefill: cell.prefill,
+        decode: cell.decode,
+        scheduler: cluster_node_config(model),
+        policy: RouterPolicy::JoinShortestQueue,
+        interconnect: InterconnectModel::ethernet_400g()
+            .with_kv_bytes_per_token(KvCacheSpec::of(model).bytes_per_token),
+        slo: SloSpec::chatbot(),
+        autoscaler: cell.autoscaler,
+    };
+    simulate_fleet(&refs[..p_max], &refs[p_max..], workload, &cfg)
+}
+
+/// Autoscaling frontier: static vs. autoscaled vs. disaggregated fleets
+/// replaying the same diurnal + flash-crowd trace, GPT-3 175B on
+/// `DGX+AttAccs` nodes. The cost axis is node-seconds: what a static
+/// fleet pays to hold the tail, an elastic fleet tries to refund.
+#[must_use]
+pub fn autoscale_frontier(sessions: u64) -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let workload = autoscale_trace(sessions);
+    let cells = autoscale_cells(sessions);
+    let reports =
+        SweepRunner::from_env().map(&cells, |cell| fleet_cell(&model, cell, &workload));
+    let mut t = Table::new(
+        format!("Autoscaling frontier: GPT-3 175B, diurnal + flash-crowd trace, {sessions} sessions"),
+        &[
+            "fleet",
+            "nodes P/D",
+            "completed",
+            "tokens/s",
+            "goodput tok/s",
+            "in-SLO %",
+            "TTFT p99.9 (ms)",
+            "node-s",
+            "peak P",
+            "peak D",
+            "scale events",
+            "KV ships",
+        ],
+    );
+    for (cell, r) in cells.iter().zip(&reports) {
+        let pools = match cell.prefill {
+            Some(p) => format!("{}-{}/{}-{}", p.min_nodes, p.max_nodes, cell.decode.min_nodes, cell.decode.max_nodes),
+            None => format!("-/{}-{}", cell.decode.min_nodes, cell.decode.max_nodes),
+        };
+        t.push_row(vec![
+            cell.name.into(),
+            pools,
+            r.cluster.completed.to_string(),
+            n(r.cluster.tokens_per_s),
+            n(r.cluster.goodput.goodput_tokens_per_s),
+            n(r.cluster.goodput.requests_in_slo as f64 / sessions as f64 * 100.0),
+            n(r.cluster.ttft.p999_s * 1e3),
+            n(r.node_seconds),
+            r.prefill_peak_nodes.to_string(),
+            r.decode_peak_nodes.to_string(),
+            r.scale_events.len().to_string(),
+            r.kv_ships.to_string(),
         ]);
     }
     t

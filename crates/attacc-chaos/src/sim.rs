@@ -438,6 +438,14 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
     fn run(&mut self, workload: &ArrivalWorkload) {
         self.ids = RequestIndex::build(workload);
         self.trackers = vec![None; self.ids.len];
+        // Same deterministic KV-timeline stride and metric pre-sizing as
+        // simulate_cluster, so the zero-fault parity pin stays bit-exact.
+        let stride = attacc_cluster::kv_stride_for(workload.arrivals.len());
+        let hint = workload.arrivals.len() / self.n + 1;
+        for e in &mut self.engines {
+            e.set_kv_stride(stride);
+            e.reserve_metrics(hint);
+        }
         for &(t, request) in &workload.arrivals {
             self.q.push(t, EventKind::Arrival { request });
         }
@@ -463,6 +471,9 @@ impl<'a, 'b> ChaosSim<'a, 'b> {
                 EventKind::Slowdown { node, factor } => self.engines[node].set_slowdown(factor),
                 EventKind::LinkFactor { factor } => self.link_factor = factor,
                 EventKind::Timer { id, attempt: _, hedge } => self.on_timer(ev.time_s, id, hedge),
+                EventKind::ScaleTick => {
+                    unreachable!("fleet autoscaler events cannot appear in the chaos loop")
+                }
             }
         }
     }

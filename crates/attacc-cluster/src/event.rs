@@ -86,6 +86,12 @@ pub enum EventKind {
         /// The node to wake.
         node: usize,
     },
+    /// The autoscaler's periodic evaluation point (fleet layer only;
+    /// `simulate_cluster` never emits it). Ranked after `NodeReady` so a
+    /// tick at the same virtual time observes the fleet *after* every
+    /// round that completes at that instant — adding the variant cannot
+    /// perturb any existing event ordering.
+    ScaleTick,
 }
 
 impl EventKind {
@@ -103,6 +109,7 @@ impl EventKind {
             EventKind::Deliver { .. } => 5,
             EventKind::Timer { .. } => 6,
             EventKind::NodeReady { .. } => 7,
+            EventKind::ScaleTick => 8,
         }
     }
 }

@@ -55,15 +55,22 @@
 pub mod event;
 pub mod interconnect;
 pub mod node;
+pub mod pools;
 pub mod report;
 pub mod router;
+pub mod scale;
 pub mod sim;
 
 pub use event::{Event, EventKind, EventQueue};
 pub use interconnect::InterconnectModel;
-pub use node::{CrashedWork, DisplacedRequest, NodeEngine, RoundOutcome};
+pub use node::{kv_stride_for, CrashedWork, DisplacedRequest, NodeEngine, NodeRole, RoundOutcome};
+pub use pools::{simulate_fleet, FleetConfig, FleetReport, PoolConfig};
 pub use report::{ClusterReport, GoodputReport, NodeReport, SloSpec};
 pub use router::{splitmix64, NodeLoad, RouteDecision, Router, RouterPolicy};
+pub use scale::{
+    Autoscaler, AutoscalerConfig, PoolKind, PoolObservation, ScaleDirection, ScaleEvent,
+    ScaleSignal,
+};
 pub use sim::{simulate_cluster, ClusterConfig};
 
 // Re-exported so downstream callers need only this crate for a full run.

@@ -27,6 +27,24 @@ use attacc_model::{Request, RequestState, SequenceStatus};
 use attacc_serving::{SchedulerConfig, StageExecutor};
 use std::collections::VecDeque;
 
+/// What part of a request's lifecycle this node serves.
+///
+/// A [`NodeRole::Monolithic`] node runs the full Sum + Gen lifecycle
+/// locally — the only role `simulate_cluster` uses. A
+/// [`NodeRole::Prefill`] node (disaggregated fleets only) runs the Sum
+/// stage and then *hands the request off* instead of decoding: after the
+/// prefill pass of each round every active request is drained into the
+/// [`NodeEngine::drain_prefilled_into`] log (single-token requests, which
+/// finish at Sum, retire locally) so the fleet layer can ship its KV
+/// image to a decode node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Full Sum + Gen lifecycle on this node.
+    Monolithic,
+    /// Sum only; completed prefills are handed off for remote decode.
+    Prefill,
+}
+
 /// What a [`NodeEngine::run_round`] call did.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundOutcome {
@@ -72,10 +90,25 @@ pub struct CrashedWork {
     pub lost_tokens: u64,
 }
 
+/// The deterministic KV-timeline sampling stride for an `n_requests`
+/// workload: record every reservation change for small runs (byte-exact
+/// with the pre-sampling behavior below 1024 requests, where every
+/// golden table and equivalence pin lives), then thin linearly with the
+/// request count so the timeline holds on the order of a thousand
+/// samples per node however long the trace — report memory stays
+/// O(nodes · samples), not O(requests). Shared by `simulate_cluster`,
+/// the fleet layer, and the chaos layer so identical workloads always
+/// sample identically.
+#[must_use]
+pub fn kv_stride_for(n_requests: usize) -> u64 {
+    ((n_requests as u64 * 2) / 1024).max(1)
+}
+
 /// One serving node: executor, scheduler state, and local metrics.
 pub struct NodeEngine<'a> {
     executor: &'a dyn StageExecutor,
     cfg: SchedulerConfig,
+    role: NodeRole,
     /// `(front-door arrival time, request, warm)` in delivery order; warm
     /// requests carry a migrated KV image and skip their Sum stage.
     queued: VecDeque<(f64, Request, bool)>,
@@ -100,11 +133,32 @@ pub struct NodeEngine<'a> {
     pub(crate) ttft_tokens: Vec<u64>,
     pub(crate) tbt: Vec<f64>,
     pub(crate) queue_wait: Vec<f64>,
-    /// `(time, reserved KV tokens)` at every reservation change.
+    /// `(time, reserved KV tokens)` sampled every `kv_stride`-th
+    /// reservation change (stride 1 = every change).
     pub(crate) kv_timeline: Vec<(f64, u64)>,
     /// Time-weighted integral of reserved tokens (token·seconds).
     kv_area: f64,
     last_kv_change_s: f64,
+    /// Reservation level at `last_kv_change_s` — tracked separately from
+    /// the (possibly stride-sampled) timeline so `kv_area` stays exact.
+    kv_last_value: u64,
+    /// Running maximum reservation over *every* change (exact regardless
+    /// of the sampling stride).
+    kv_peak: u64,
+    /// Reservation changes observed so far (the sampling counter).
+    kv_changes: u64,
+    /// Record every `kv_stride`-th reservation change in `kv_timeline`
+    /// (1 = record all). Peak and time-weighted mean stay exact; only the
+    /// plotted timeline is subsampled, keeping report memory O(samples)
+    /// instead of O(requests) on 10^5-request traces.
+    kv_stride: u64,
+    /// `(prefill-done time, front-door arrival time, remaining request)`
+    /// hand-off log for [`NodeRole::Prefill`] nodes, drained by the fleet
+    /// layer after every round via
+    /// [`NodeEngine::drain_prefilled_into`]. The remaining request folds
+    /// generated tokens into its context: `l_in' = l_in + generated`,
+    /// `l_out' = l_out - generated`.
+    prefilled: Vec<(f64, f64, Request)>,
     /// `(request id, time)` of every first token emitted, for the chaos
     /// layer's per-request TTFT tracking (drained via
     /// [`NodeEngine::take_first_tokens`]).
@@ -139,10 +193,24 @@ impl<'a> NodeEngine<'a> {
     /// Panics if `cfg.max_batch` is zero.
     #[must_use]
     pub fn new(executor: &'a dyn StageExecutor, cfg: SchedulerConfig) -> NodeEngine<'a> {
+        NodeEngine::with_role(executor, cfg, NodeRole::Monolithic)
+    }
+
+    /// A fresh node over `executor` under `cfg` serving `role`.
+    ///
+    /// # Panics
+    /// Panics if `cfg.max_batch` is zero.
+    #[must_use]
+    pub fn with_role(
+        executor: &'a dyn StageExecutor,
+        cfg: SchedulerConfig,
+        role: NodeRole,
+    ) -> NodeEngine<'a> {
         assert!(cfg.max_batch > 0, "max_batch must be positive");
         NodeEngine {
             executor,
             cfg,
+            role,
             queued: VecDeque::new(),
             active: Vec::new(),
             reserved_tokens: 0,
@@ -160,6 +228,11 @@ impl<'a> NodeEngine<'a> {
             kv_timeline: vec![(0.0, 0)],
             kv_area: 0.0,
             last_kv_change_s: 0.0,
+            kv_last_value: 0,
+            kv_peak: 0,
+            kv_changes: 0,
+            kv_stride: 1,
+            prefilled: Vec::new(),
             first_tokens: Vec::new(),
             retired: Vec::new(),
             scratch_admitted: Vec::new(),
@@ -182,6 +255,44 @@ impl<'a> NodeEngine<'a> {
     pub fn deliver_warm(&mut self, arrival_s: f64, request: Request) {
         self.pledged_tokens += request.final_len();
         self.queued.push_back((arrival_s, request, true));
+    }
+
+    /// The lifecycle role this node serves.
+    #[must_use]
+    pub fn role(&self) -> NodeRole {
+        self.role
+    }
+
+    /// Appends the `(prefill-done time, arrival time, remaining request)`
+    /// hand-offs accumulated since the last drain to `out` and clears the
+    /// log (both buffers keep their capacity — no steady-state
+    /// allocation). Only [`NodeRole::Prefill`] nodes ever produce
+    /// entries.
+    pub fn drain_prefilled_into(&mut self, out: &mut Vec<(f64, f64, Request)>) {
+        out.append(&mut self.prefilled);
+    }
+
+    /// Pre-sizes the per-request metric vectors for roughly `requests`
+    /// samples, so 10^5-request traces do not grow them through repeated
+    /// doubling. Purely an allocation hint: behavior and contents are
+    /// unchanged.
+    pub fn reserve_metrics(&mut self, requests: usize) {
+        self.ttft.reserve(requests);
+        self.ttft_tokens.reserve(requests);
+        self.queue_wait.reserve(requests);
+        self.tbt.reserve(requests);
+    }
+
+    /// Records only every `stride`-th KV-reservation change in the
+    /// occupancy timeline (1 = record all, the default). The KV peak and
+    /// time-weighted mean remain exact; only the sampled timeline is
+    /// thinned, bounding report memory on very long traces.
+    ///
+    /// # Panics
+    /// Panics if `stride` is zero.
+    pub fn set_kv_stride(&mut self, stride: u64) {
+        assert!(stride > 0, "kv stride must be positive");
+        self.kv_stride = stride;
     }
 
     /// Requests waiting for admission.
@@ -302,21 +413,25 @@ impl<'a> NodeEngine<'a> {
     }
 
     fn record_kv(&mut self, now: f64) {
-        let prev = self.kv_timeline.last().map_or(0, |&(_, v)| v);
-        self.kv_area += prev as f64 * (now - self.last_kv_change_s);
+        self.kv_area += self.kv_last_value as f64 * (now - self.last_kv_change_s);
         self.last_kv_change_s = now;
-        self.kv_timeline.push((now, self.reserved_tokens));
+        self.kv_last_value = self.reserved_tokens;
+        self.kv_peak = self.kv_peak.max(self.reserved_tokens);
+        self.kv_changes += 1;
+        if self.kv_changes.is_multiple_of(self.kv_stride) {
+            self.kv_timeline.push((now, self.reserved_tokens));
+        }
     }
 
     /// Closes the KV-occupancy integral at `end_s` and returns
-    /// `(peak tokens, time-weighted mean tokens)`.
+    /// `(peak tokens, time-weighted mean tokens)`. Both are exact over
+    /// every reservation change regardless of the timeline sampling
+    /// stride.
     pub(crate) fn finish_kv(&mut self, end_s: f64) -> (u64, f64) {
-        let prev = self.kv_timeline.last().map_or(0, |&(_, v)| v);
-        self.kv_area += prev as f64 * (end_s - self.last_kv_change_s);
+        self.kv_area += self.kv_last_value as f64 * (end_s - self.last_kv_change_s);
         self.last_kv_change_s = end_s;
-        let peak = self.kv_timeline.iter().map(|&(_, v)| v).max().unwrap_or(0);
         let mean = if end_s > 0.0 { self.kv_area / end_s } else { 0.0 };
-        (peak, mean)
+        (self.kv_peak, mean)
     }
 
     /// Runs one scheduling round starting at `now`: admit as many queued
@@ -391,6 +506,35 @@ impl<'a> NodeEngine<'a> {
                 self.first_tokens.push((s.request.id, now));
                 let _ = s.complete_stage();
             }
+        }
+
+        // A prefill node never decodes: drain every active request right
+        // after the Sum pass. Single-token requests finished at Sum and
+        // retire here; everything else is logged for hand-off with its
+        // generated tokens folded into the shipped context, so the decode
+        // node's first Gen group length equals what a monolithic node
+        // would have used (`l_in + generated + 1`). Releasing the
+        // reservations here models the prefill node recycling its KV
+        // buffers once the image ships.
+        if self.role == NodeRole::Prefill && !self.active.is_empty() {
+            for (arrival, s) in self.active.drain(..) {
+                self.reserved_tokens -= s.request.final_len();
+                self.pledged_tokens -= s.request.final_len();
+                if s.status == SequenceStatus::Finished {
+                    self.completed += 1;
+                    self.retired.push((s.request.id, now));
+                } else {
+                    let r = s.request;
+                    self.prefilled.push((
+                        now,
+                        arrival,
+                        Request::new(r.id, r.l_in + s.generated, r.l_out - s.generated),
+                    ));
+                }
+            }
+            self.record_kv(now);
+            self.groups_fresh = false;
+            self.min_remaining = 0;
         }
 
         // One Gen iteration. Group building preserves first-occurrence
@@ -636,5 +780,55 @@ mod tests {
     fn non_finite_slowdown_rejected() {
         let mut node = NodeEngine::new(&Toy, SchedulerConfig::unlimited(1));
         node.set_slowdown(f64::INFINITY);
+    }
+
+    #[test]
+    fn prefill_role_hands_off_after_sum() {
+        let mut node = NodeEngine::with_role(&Toy, SchedulerConfig::unlimited(4), NodeRole::Prefill);
+        node.deliver(0.0, Request::new(0, 16, 3));
+        node.deliver(0.0, Request::new(1, 16, 1)); // finishes at Sum
+        let out = node.run_round(0.0);
+        assert!(out.worked);
+        // Both requests got their Sum first token; nothing decodes here.
+        assert_eq!(node.tokens, 2);
+        assert_eq!(node.ttft.len(), 2);
+        assert!(node.is_drained(), "prefill node drains every round");
+        assert_eq!(node.reserved_tokens(), 0);
+        assert_eq!(node.pledged_tokens(), 0);
+        // The single-token request retired locally; the other was handed
+        // off with its generated token folded into the context.
+        assert_eq!(node.completed, 1);
+        let mut handoffs = Vec::new();
+        node.drain_prefilled_into(&mut handoffs);
+        assert_eq!(handoffs.len(), 1);
+        let (ready_s, arrival_s, rest) = handoffs[0];
+        assert_eq!(ready_s, out.end_s);
+        assert_eq!(arrival_s, 0.0);
+        assert_eq!((rest.id, rest.l_in, rest.l_out), (0, 17, 2));
+        node.drain_prefilled_into(&mut handoffs);
+        assert_eq!(handoffs.len(), 1, "drained log stays drained");
+    }
+
+    #[test]
+    fn kv_stride_thins_timeline_but_keeps_peak_and_mean_exact() {
+        let run = |stride: u64| {
+            let cfg = SchedulerConfig::with_capacity(2, u64::MAX, 1);
+            let mut node = NodeEngine::new(&Toy, cfg);
+            node.set_kv_stride(stride);
+            for id in 0..8 {
+                node.deliver(0.0, Request::new(id, 8, 2));
+            }
+            let mut t = 0.0;
+            while !node.is_drained() {
+                t = node.run_round(t).end_s;
+            }
+            let (peak, mean) = node.finish_kv(t);
+            (peak, mean, node.kv_timeline.len())
+        };
+        let (peak1, mean1, full) = run(1);
+        let (peak4, mean4, thinned) = run(4);
+        assert_eq!(peak1, peak4, "peak is exact under sampling");
+        assert_eq!(mean1.to_bits(), mean4.to_bits(), "mean is bit-exact under sampling");
+        assert!(thinned < full, "stride 4 records fewer samples ({thinned} vs {full})");
     }
 }

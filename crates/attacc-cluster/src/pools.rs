@@ -1,0 +1,678 @@
+//! Disaggregated fleet simulation: prefill pool + decode pool +
+//! autoscaler.
+//!
+//! [`simulate_fleet`] generalizes [`crate::simulate_cluster`] along two
+//! axes while preserving its determinism contract:
+//!
+//! - **Prefill/decode disaggregation** (AttAcc §division-of-labor, lifted
+//!   to fleet level): arrivals route to an xPU-heavy *prefill pool* whose
+//!   nodes run only the Sum stage; each finished prefill ships its KV
+//!   image over the [`InterconnectModel`] (charged bytes + latency) to a
+//!   PIM-heavy *decode pool* node, which resumes generation warm — no
+//!   second Sum. Single-token requests finish at prefill and never ship.
+//! - **Autoscaling**: an optional [`Autoscaler`] evaluates each pool on a
+//!   periodic `ScaleTick`, activating nodes (which accept work only after
+//!   the cold-start delay) or deactivating them (they drain; the router
+//!   stops considering them) within per-pool `[min, max]` bounds, with a
+//!   hysteresis window forbidding out→in flapping.
+//!
+//! **Equivalence pin:** with no prefill pool, a static decode pool, and no
+//! autoscaler, the event sequence below is line-for-line the
+//! `simulate_cluster` loop — `tests/cluster_equivalence.rs` pins the
+//! resulting [`ClusterReport`] bit-exact against it. Everything the fleet
+//! layer adds is gated so the monolithic path executes the identical
+//! float operations in the identical order.
+
+use crate::event::{EventKind, EventQueue};
+use crate::node::{kv_stride_for, NodeEngine, NodeRole};
+use crate::report::{ClusterReport, SloSpec};
+use crate::router::{NodeLoad, Router, RouterPolicy};
+use crate::scale::{
+    Autoscaler, AutoscalerConfig, PoolKind, PoolObservation, ScaleDirection, ScaleEvent,
+};
+use crate::sim::ClusterConfig;
+use crate::InterconnectModel;
+use attacc_model::Request;
+use attacc_serving::{ArrivalWorkload, SchedulerConfig, StageExecutor};
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// Size bounds for one node pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct PoolConfig {
+    /// Nodes the pool never shrinks below (≥ 1).
+    pub min_nodes: usize,
+    /// Nodes active (and warm) at t = 0.
+    pub initial_nodes: usize,
+    /// Nodes the pool never grows beyond; the fleet is provisioned with
+    /// this many executors.
+    pub max_nodes: usize,
+}
+
+impl PoolConfig {
+    /// A fixed-size pool: `n` nodes, no elasticity.
+    #[must_use]
+    pub fn fixed(n: usize) -> PoolConfig {
+        PoolConfig { min_nodes: n, initial_nodes: n, max_nodes: n }
+    }
+
+    /// An elastic pool starting at `initial` within `[min, max]`.
+    #[must_use]
+    pub fn elastic(min: usize, initial: usize, max: usize) -> PoolConfig {
+        PoolConfig { min_nodes: min, initial_nodes: initial, max_nodes: max }
+    }
+
+    /// Checks `1 ≤ min ≤ initial ≤ max`.
+    ///
+    /// # Panics
+    /// Panics when the bounds are inconsistent.
+    pub fn validate(&self, pool: &str) {
+        assert!(self.min_nodes >= 1, "{pool} pool needs at least one node");
+        assert!(
+            self.min_nodes <= self.initial_nodes && self.initial_nodes <= self.max_nodes,
+            "{pool} pool bounds must satisfy min <= initial <= max, got [{}, {}, {}]",
+            self.min_nodes,
+            self.initial_nodes,
+            self.max_nodes,
+        );
+    }
+}
+
+/// Everything a fleet run needs besides executors and a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FleetConfig {
+    /// The prefill pool; `None` = monolithic fleet (decode nodes run the
+    /// full Sum + Gen lifecycle, exactly `simulate_cluster`).
+    pub prefill: Option<PoolConfig>,
+    /// The decode pool (the only pool in a monolithic fleet).
+    pub decode: PoolConfig,
+    /// Per-node scheduler limits (batch cap, KV capacity), shared by both
+    /// pools.
+    pub scheduler: SchedulerConfig,
+    /// Routing policy, used independently by each pool's router.
+    pub policy: RouterPolicy,
+    /// Prompt-shipping / KV-shipping cost model.
+    pub interconnect: InterconnectModel,
+    /// Latency SLO for goodput accounting.
+    pub slo: SloSpec,
+    /// Optional autoscaler; `None` = both pools stay at `initial_nodes`.
+    pub autoscaler: Option<AutoscalerConfig>,
+}
+
+impl FleetConfig {
+    /// The equivalence configuration: a static monolithic fleet of
+    /// `nodes` decode nodes under `cluster`'s scheduler, policy,
+    /// interconnect and SLO — bit-exact with
+    /// [`crate::simulate_cluster`] over the same executors.
+    #[must_use]
+    pub fn monolithic(cluster: &ClusterConfig, nodes: usize) -> FleetConfig {
+        FleetConfig {
+            prefill: None,
+            decode: PoolConfig::fixed(nodes),
+            scheduler: cluster.scheduler,
+            policy: cluster.policy,
+            interconnect: cluster.interconnect,
+            slo: cluster.slo,
+            autoscaler: None,
+        }
+    }
+}
+
+/// Outcome of a fleet simulation: the cluster-shaped report plus the
+/// fleet-level accounting the frontier tables need.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FleetReport {
+    /// Aggregate report over *all* provisioned nodes (prefill pool first,
+    /// then decode), in global node order.
+    pub cluster: ClusterReport,
+    /// Whether a prefill pool was configured.
+    pub disaggregated: bool,
+    /// Node-seconds consumed: Σ over nodes of (deactivation −
+    /// activation), cold-start time included — booting capacity is paid
+    /// capacity. The cost axis of the autoscaling frontier.
+    pub node_seconds: f64,
+    /// Peak active prefill-pool size (0 for monolithic fleets).
+    pub prefill_peak_nodes: usize,
+    /// Peak active decode-pool size.
+    pub decode_peak_nodes: usize,
+    /// Prefill→decode KV shipments.
+    pub kv_ships: u64,
+    /// Bytes moved by those shipments.
+    pub kv_shipped_bytes: u64,
+    /// Every applied scale action, in decision order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Per global node index: the first time the router dispatched a
+    /// request to the node (`None` = never) — the property tests check
+    /// cold starts against this.
+    pub first_route_s: Vec<Option<f64>>,
+}
+
+/// Internal per-pool bookkeeping for the fleet loop.
+struct Pool {
+    kind: PoolKind,
+    /// Global node-index range `[base, base + cfg.max_nodes)`.
+    base: usize,
+    cfg: PoolConfig,
+    router: Router,
+    /// Routable flag per pool-local node.
+    active: Vec<bool>,
+    /// Earliest time each pool-local node may accept work.
+    warm_at: Vec<f64>,
+    /// Activation time of each currently active node (for node-second
+    /// billing), `None` when inactive.
+    active_since: Vec<Option<f64>>,
+    /// Requests routed to this pool since the last scale tick.
+    arrivals_since_tick: u64,
+    peak_active: usize,
+}
+
+impl Pool {
+    fn new(kind: PoolKind, base: usize, cfg: PoolConfig) -> Pool {
+        Pool {
+            kind,
+            base,
+            cfg,
+            router: Router::new(RouterPolicy::PassThrough), // replaced by caller
+            active: (0..cfg.max_nodes).map(|i| i < cfg.initial_nodes).collect(),
+            warm_at: vec![0.0; cfg.max_nodes],
+            active_since: (0..cfg.max_nodes)
+                .map(|i| if i < cfg.initial_nodes { Some(0.0) } else { None })
+                .collect(),
+            arrivals_since_tick: 0,
+            peak_active: cfg.initial_nodes,
+        }
+    }
+
+    fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+}
+
+/// Runs `workload` through a disaggregated (or monolithic) fleet.
+///
+/// `prefill_nodes` provisions the prefill pool (one executor per
+/// potential node, `cfg.prefill.max_nodes` of them; pass `&[]` for a
+/// monolithic fleet) and `decode_nodes` the decode pool
+/// (`cfg.decode.max_nodes` executors). Global node indices run prefill
+/// pool first, then decode.
+///
+/// The run is strictly serial and a pure function of its inputs: same
+/// workload + config → byte-identical [`FleetReport`] at any thread
+/// count, cold or warm timing cache, fastpath on or off.
+///
+/// # Panics
+/// Panics if the executor slices do not match the pool bounds, the pool
+/// bounds are inconsistent, or `cfg.scheduler.max_batch` is zero.
+#[must_use]
+pub fn simulate_fleet(
+    prefill_nodes: &[&dyn StageExecutor],
+    decode_nodes: &[&dyn StageExecutor],
+    workload: &ArrivalWorkload,
+    cfg: &FleetConfig,
+) -> FleetReport {
+    cfg.decode.validate("decode");
+    if let Some(p) = &cfg.prefill {
+        p.validate("prefill");
+        assert_eq!(
+            prefill_nodes.len(),
+            p.max_nodes,
+            "prefill pool needs one executor per potential node"
+        );
+    } else {
+        assert!(prefill_nodes.is_empty(), "monolithic fleet takes no prefill executors");
+    }
+    assert_eq!(
+        decode_nodes.len(),
+        cfg.decode.max_nodes,
+        "decode pool needs one executor per potential node"
+    );
+
+    let p_max = cfg.prefill.map_or(0, |p| p.max_nodes);
+    let n = p_max + cfg.decode.max_nodes;
+    let mut engines: Vec<NodeEngine> = prefill_nodes
+        .iter()
+        .map(|e| NodeEngine::with_role(*e, cfg.scheduler, NodeRole::Prefill))
+        .chain(decode_nodes.iter().map(|e| NodeEngine::with_role(*e, cfg.scheduler, NodeRole::Monolithic)))
+        .collect();
+    let stride = kv_stride_for(workload.arrivals.len());
+    let hint = workload.arrivals.len() / n + 1;
+    for e in &mut engines {
+        e.set_kv_stride(stride);
+        e.reserve_metrics(hint);
+    }
+
+    let mut prefill_pool = cfg.prefill.map(|p| {
+        let mut pool = Pool::new(PoolKind::Prefill, 0, p);
+        pool.router = Router::new(cfg.policy);
+        pool
+    });
+    let mut decode_pool = Pool::new(PoolKind::Decode, p_max, cfg.decode);
+    decode_pool.router = Router::new(cfg.policy);
+    let mut autoscaler = cfg.autoscaler.map(Autoscaler::new);
+
+    // Same per-node transit state as simulate_cluster, indexed globally.
+    let mut in_flight = vec![0u64; n];
+    let mut in_flight_tokens = vec![0u64; n];
+    let mut ready_scheduled = vec![false; n];
+    let mut busy_until = vec![0.0f64; n];
+    let mut first_route_s: Vec<Option<f64>> = vec![None; n];
+
+    let mut q = EventQueue::new();
+    for &(t, request) in &workload.arrivals {
+        q.push(t, EventKind::Arrival { request });
+    }
+    if let Some(a) = &autoscaler {
+        q.push(a.config().interval_s, EventKind::ScaleTick);
+    }
+
+    let mut loads: Vec<NodeLoad> = Vec::with_capacity(n);
+    let mut eligible: Vec<bool> = Vec::with_capacity(n);
+    let mut handoffs: Vec<(f64, f64, Request)> = Vec::new();
+    let mut scale_events: Vec<ScaleEvent> = Vec::new();
+    let mut node_seconds = 0.0f64;
+    let mut kv_ships = 0u64;
+    let mut kv_shipped_bytes = 0u64;
+    let mut makespan = 0.0f64;
+
+    // Routes `request` (arrived/ready at `t`) to a warm active node of
+    // `pool`, returning `(global node, extra transit delay)`. Shared by
+    // front-door arrivals and prefill→decode handoffs so the eligibility
+    // and cold-start rules live in exactly one place.
+    #[allow(clippy::too_many_arguments)]
+    fn route_in_pool(
+        pool: &mut Pool,
+        engines: &[NodeEngine],
+        in_flight: &[u64],
+        in_flight_tokens: &[u64],
+        loads: &mut Vec<NodeLoad>,
+        eligible: &mut Vec<bool>,
+        first_route_s: &mut [Option<f64>],
+        t: f64,
+        id: u64,
+    ) -> (usize, bool) {
+        let (base, k) = (pool.base, pool.cfg.max_nodes);
+        loads.clear();
+        loads.extend((base..base + k).map(|g| NodeLoad {
+            backlog: in_flight[g] + engines[g].queued_len() as u64 + engines[g].active_len() as u64,
+            kv_tokens: in_flight_tokens[g] + engines[g].pledged_tokens(),
+        }));
+        eligible.clear();
+        eligible.extend((0..k).map(|i| pool.active[i] && pool.warm_at[i] <= t));
+        let decision = pool.router.route_among(id, loads, eligible);
+        let g = base + decision.node;
+        // The cold-start contract: a node never sees work before its
+        // warm-up completes. The eligibility mask enforces it; this
+        // assert keeps the contract load-bearing even if the mask logic
+        // regresses.
+        assert!(
+            pool.warm_at[decision.node] <= t,
+            "routed to node {g} before its cold start completed"
+        );
+        pool.arrivals_since_tick += 1;
+        if first_route_s[g].is_none() {
+            first_route_s[g] = Some(t);
+        }
+        (g, decision.migrated)
+    }
+
+    while let Some(ev) = q.pop() {
+        if ev.kind != EventKind::ScaleTick {
+            // Scale ticks are bookkeeping, not work: they never extend
+            // the first-arrival-to-last-completion makespan.
+            makespan = makespan.max(ev.time_s);
+        }
+        match ev.kind {
+            EventKind::Arrival { request } => {
+                let front_pool = prefill_pool.as_mut().unwrap_or(&mut decode_pool);
+                let (node, migrated) = route_in_pool(
+                    front_pool,
+                    &engines,
+                    &in_flight,
+                    &in_flight_tokens,
+                    &mut loads,
+                    &mut eligible,
+                    &mut first_route_s,
+                    ev.time_s,
+                    request.id,
+                );
+                // Identical to simulate_cluster's front-door charge:
+                // pass-through bypasses the link, otherwise the prompt
+                // ships (plus a KV-migration charge on an affinity spill).
+                let delay = if cfg.policy == RouterPolicy::PassThrough {
+                    0.0
+                } else {
+                    let mut d = cfg.interconnect.ship_prompt_s(request.l_in);
+                    if migrated {
+                        d += cfg.interconnect.migrate_kv_s(request.l_in);
+                    }
+                    d
+                };
+                in_flight[node] += 1;
+                in_flight_tokens[node] += request.final_len();
+                q.push(
+                    ev.time_s + delay,
+                    EventKind::Deliver { node, arrival_s: ev.time_s, request, warm: false },
+                );
+            }
+            EventKind::Deliver { node, arrival_s, request, warm } => {
+                in_flight[node] -= 1;
+                in_flight_tokens[node] -= request.final_len();
+                if warm {
+                    engines[node].deliver_warm(arrival_s, request);
+                } else {
+                    engines[node].deliver(arrival_s, request);
+                }
+                if !ready_scheduled[node] {
+                    ready_scheduled[node] = true;
+                    q.push(ev.time_s.max(busy_until[node]), EventKind::NodeReady { node });
+                }
+            }
+            EventKind::NodeReady { node } => {
+                ready_scheduled[node] = false;
+                let mut t = ev.time_s;
+                while !engines[node].is_drained() {
+                    let out = engines[node].run_round(t);
+                    busy_until[node] = out.end_s;
+                    makespan = makespan.max(out.end_s);
+                    t = out.end_s;
+                    // A prefill node hands its finished Sums off for
+                    // decode: route each, charge the KV shipment, and
+                    // deliver it warm. (Monolithic and decode nodes never
+                    // log handoffs, so this is a no-op branch for them.)
+                    engines[node].drain_prefilled_into(&mut handoffs);
+                    if !handoffs.is_empty() {
+                        for &(ready_s, _arrival_s, rest) in &handoffs {
+                            let (dest, _) = route_in_pool(
+                                &mut decode_pool,
+                                &engines,
+                                &in_flight,
+                                &in_flight_tokens,
+                                &mut loads,
+                                &mut eligible,
+                                &mut first_route_s,
+                                ready_s,
+                                rest.id,
+                            );
+                            let ship_s = cfg.interconnect.migrate_kv_s(rest.l_in);
+                            kv_ships += 1;
+                            kv_shipped_bytes += rest.l_in * cfg.interconnect.kv_bytes_per_token;
+                            in_flight[dest] += 1;
+                            in_flight_tokens[dest] += rest.final_len();
+                            let at = ready_s + ship_s;
+                            q.push(
+                                at,
+                                EventKind::Deliver {
+                                    node: dest,
+                                    arrival_s: at,
+                                    request: rest,
+                                    warm: true,
+                                },
+                            );
+                        }
+                        handoffs.clear();
+                    }
+                    let next_round_pops_first = q
+                        .next_time()
+                        .is_none_or(|nt| nt.total_cmp(&t) == std::cmp::Ordering::Greater);
+                    if !next_round_pops_first {
+                        if !engines[node].is_drained() {
+                            ready_scheduled[node] = true;
+                            q.push(t, EventKind::NodeReady { node });
+                        }
+                        break;
+                    }
+                }
+            }
+            EventKind::ScaleTick => {
+                let scaler = autoscaler.as_mut().expect("ScaleTick implies an autoscaler");
+                let t = ev.time_s;
+                let pools: [Option<&mut Pool>; 2] =
+                    [prefill_pool.as_mut(), Some(&mut decode_pool)];
+                for pool in pools.into_iter().flatten() {
+                    let (base, k) = (pool.base, pool.cfg.max_nodes);
+                    let active_nodes = pool.active_count();
+                    let mut backlog = 0u64;
+                    let mut reserved = 0u64;
+                    for g in base..base + k {
+                        backlog += in_flight[g]
+                            + engines[g].queued_len() as u64
+                            + engines[g].active_len() as u64;
+                        reserved += engines[g].reserved_tokens();
+                    }
+                    let kv_frac = if cfg.scheduler.kv_bytes_per_token == 0 || active_nodes == 0 {
+                        0.0
+                    } else {
+                        let cap = active_nodes as f64 * cfg.scheduler.kv_capacity_bytes as f64;
+                        (reserved as f64 * cfg.scheduler.kv_bytes_per_token as f64) / cap
+                    };
+                    let obs = PoolObservation {
+                        active_nodes,
+                        backlog,
+                        kv_frac,
+                        arrivals_since_tick: pool.arrivals_since_tick,
+                    };
+                    pool.arrivals_since_tick = 0;
+                    let action =
+                        scaler.decide(t, pool.kind, &obs, pool.cfg.min_nodes, pool.cfg.max_nodes);
+                    match action {
+                        Some(ScaleDirection::Out) => {
+                            let i = pool
+                                .active
+                                .iter()
+                                .position(|&a| !a)
+                                .expect("decide() only scales out below max");
+                            pool.active[i] = true;
+                            pool.warm_at[i] = t + scaler.config().cold_start_s;
+                            pool.active_since[i] = Some(t);
+                            pool.peak_active = pool.peak_active.max(active_nodes + 1);
+                            scale_events.push(ScaleEvent {
+                                t_s: t,
+                                pool: pool.kind,
+                                direction: ScaleDirection::Out,
+                                from_nodes: active_nodes,
+                                to_nodes: active_nodes + 1,
+                                node: base + i,
+                                warm_at_s: pool.warm_at[i],
+                            });
+                        }
+                        Some(ScaleDirection::In) => {
+                            let i = pool
+                                .active
+                                .iter()
+                                .rposition(|&a| a)
+                                .expect("decide() only scales in above min >= 1");
+                            // Never deactivate the last warm node: the
+                            // router must always have somewhere eligible
+                            // to send an arrival.
+                            let warm_actives = (0..k)
+                                .filter(|&j| pool.active[j] && pool.warm_at[j] <= t)
+                                .count();
+                            if pool.warm_at[i] <= t && warm_actives <= 1 {
+                                continue;
+                            }
+                            pool.active[i] = false;
+                            if let Some(since) = pool.active_since[i].take() {
+                                node_seconds += t - since;
+                            }
+                            scale_events.push(ScaleEvent {
+                                t_s: t,
+                                pool: pool.kind,
+                                direction: ScaleDirection::In,
+                                from_nodes: active_nodes,
+                                to_nodes: active_nodes - 1,
+                                node: base + i,
+                                warm_at_s: t,
+                            });
+                        }
+                        None => {}
+                    }
+                }
+                // Keep ticking only while work remains; the queue holds
+                // at most one pending tick, so a non-empty queue here
+                // means real pending work.
+                if !q.is_empty() {
+                    q.push(t + scaler.config().interval_s, EventKind::ScaleTick);
+                }
+            }
+            EventKind::NodeDown { .. }
+            | EventKind::NodeUp { .. }
+            | EventKind::Slowdown { .. }
+            | EventKind::LinkFactor { .. }
+            | EventKind::Timer { .. } => {
+                unreachable!("chaos events cannot appear in simulate_fleet")
+            }
+        }
+    }
+
+    // Close the node-second meter on everything still active.
+    for pool in [prefill_pool.as_ref(), Some(&decode_pool)].into_iter().flatten() {
+        for since in pool.active_since.iter().flatten() {
+            node_seconds += makespan - since;
+        }
+    }
+    let prefill_peak = prefill_pool.as_ref().map_or(0, |p| p.peak_active);
+    let cluster = ClusterReport::from_engines(cfg.policy.name(), &mut engines, makespan, &cfg.slo);
+    FleetReport {
+        cluster,
+        disaggregated: cfg.prefill.is_some(),
+        node_seconds,
+        prefill_peak_nodes: prefill_peak,
+        decode_peak_nodes: decode_pool.peak_active,
+        kv_ships,
+        kv_shipped_bytes,
+        scale_events,
+        first_route_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate_cluster;
+    use attacc_serving::StageCost;
+
+    struct Toy;
+    impl StageExecutor for Toy {
+        fn sum_stage(&self, b: u64, l: u64) -> StageCost {
+            StageCost { latency_s: 1e-6 * (b * l) as f64, energy_j: 0.1 * b as f64 }
+        }
+        fn gen_stage(&self, groups: &[(u64, u64)]) -> StageCost {
+            let n: u64 = groups.iter().map(|g| g.0).sum();
+            StageCost { latency_s: 5e-4 + 1e-6 * n as f64, energy_j: 0.01 * n as f64 }
+        }
+    }
+
+    fn workload() -> ArrivalWorkload {
+        ArrivalWorkload::poisson(60, 80.0, 64, (4, 12), 13)
+    }
+
+    #[test]
+    fn monolithic_fleet_matches_simulate_cluster_bit_exactly() {
+        let w = workload();
+        for policy in [
+            RouterPolicy::PassThrough,
+            RouterPolicy::RoundRobin,
+            RouterPolicy::JoinShortestQueue,
+            RouterPolicy::LeastKvBytes,
+            RouterPolicy::SessionAffinity { spill_backlog: 2 },
+        ] {
+            let ccfg = ClusterConfig {
+                policy,
+                ..ClusterConfig::pass_through(SchedulerConfig::unlimited(8))
+            };
+            let base = simulate_cluster(&[&Toy, &Toy, &Toy], &w, &ccfg);
+            let fleet =
+                simulate_fleet(&[], &[&Toy, &Toy, &Toy], &w, &FleetConfig::monolithic(&ccfg, 3));
+            assert_eq!(fleet.cluster, base, "policy {}", policy.name());
+            assert!(!fleet.disaggregated);
+            assert_eq!(fleet.kv_ships, 0);
+            assert!(fleet.scale_events.is_empty());
+            // Static fleet: every node is billed for the whole makespan.
+            assert!((fleet.node_seconds - 3.0 * base.makespan_s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn disaggregated_fleet_completes_everything_and_ships_kv() {
+        let w = workload();
+        let cfg = FleetConfig {
+            prefill: Some(PoolConfig::fixed(2)),
+            decode: PoolConfig::fixed(2),
+            scheduler: SchedulerConfig::unlimited(8),
+            policy: RouterPolicy::JoinShortestQueue,
+            interconnect: InterconnectModel::ethernet_400g().with_kv_bytes_per_token(1 << 10),
+            slo: SloSpec::chatbot(),
+            autoscaler: None,
+        };
+        let r = simulate_fleet(&[&Toy, &Toy], &[&Toy, &Toy], &w, &cfg);
+        assert!(r.disaggregated);
+        assert_eq!(r.cluster.completed, 60);
+        assert_eq!(r.cluster.abandoned, 0);
+        // Every multi-token request shipped exactly once.
+        let multi = w.arrivals.iter().filter(|(_, r)| r.l_out > 1).count() as u64;
+        assert_eq!(r.kv_ships, multi);
+        assert!(r.kv_shipped_bytes > 0);
+        // Prefill nodes produce exactly one token per request (the Sum
+        // first token) and complete only the single-token requests;
+        // decode nodes complete everything that shipped.
+        let prefill_tokens: u64 = r.cluster.nodes[..2].iter().map(|nr| nr.tokens).sum();
+        assert_eq!(prefill_tokens, w.arrivals.len() as u64);
+        let decode_completed: u64 = r.cluster.nodes[2..].iter().map(|nr| nr.completed).sum();
+        assert_eq!(decode_completed, multi);
+    }
+
+    #[test]
+    fn autoscaler_grows_under_load_and_respects_bounds() {
+        // A hard burst at t=0 against a 1-node initial pool.
+        let w = ArrivalWorkload::poisson(80, 2000.0, 64, (8, 16), 3);
+        let cfg = FleetConfig {
+            prefill: None,
+            decode: PoolConfig::elastic(1, 1, 4),
+            scheduler: SchedulerConfig::unlimited(4),
+            policy: RouterPolicy::JoinShortestQueue,
+            interconnect: InterconnectModel::ideal(),
+            slo: SloSpec::chatbot(),
+            autoscaler: Some(AutoscalerConfig::queue_depth(0.005)),
+        };
+        let r = simulate_fleet(&[], &[&Toy, &Toy, &Toy, &Toy], &w, &cfg);
+        assert_eq!(r.cluster.completed, 80);
+        assert!(!r.scale_events.is_empty(), "the burst must trigger scale-out");
+        assert!(r.decode_peak_nodes > 1 && r.decode_peak_nodes <= 4);
+        for e in &r.scale_events {
+            assert!(e.to_nodes >= 1 && e.to_nodes <= 4);
+        }
+        // Autoscaled cost is below the always-on-4-nodes bill.
+        assert!(r.node_seconds < 4.0 * r.cluster.makespan_s + 1e-9);
+    }
+
+    #[test]
+    fn fleet_is_a_pure_function_of_its_inputs() {
+        let w = workload();
+        let cfg = FleetConfig {
+            prefill: Some(PoolConfig::elastic(1, 1, 3)),
+            decode: PoolConfig::elastic(1, 2, 3),
+            scheduler: SchedulerConfig::unlimited(8),
+            policy: RouterPolicy::RoundRobin,
+            interconnect: InterconnectModel::ethernet_400g().with_kv_bytes_per_token(256),
+            slo: SloSpec::chatbot(),
+            autoscaler: Some(AutoscalerConfig::queue_depth(0.01)),
+        };
+        let nodes: [&dyn StageExecutor; 3] = [&Toy, &Toy, &Toy];
+        let a = simulate_fleet(&nodes, &nodes, &w, &cfg);
+        let b = simulate_fleet(&nodes, &nodes, &w, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one executor per potential node")]
+    fn executor_count_must_match_pool_bounds() {
+        let cfg = FleetConfig::monolithic(
+            &ClusterConfig::pass_through(SchedulerConfig::unlimited(4)),
+            2,
+        );
+        let _ = simulate_fleet(&[], &[&Toy], &workload(), &cfg);
+    }
+}

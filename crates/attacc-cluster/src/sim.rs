@@ -67,6 +67,12 @@ pub fn simulate_cluster(
     let n = nodes.len();
     let mut engines: Vec<NodeEngine> =
         nodes.iter().map(|e| NodeEngine::new(*e, cfg.scheduler)).collect();
+    let stride = crate::node::kv_stride_for(workload.arrivals.len());
+    let hint = workload.arrivals.len() / n + 1;
+    for e in &mut engines {
+        e.set_kv_stride(stride);
+        e.reserve_metrics(hint);
+    }
     let mut router = Router::new(cfg.policy);
 
     // Requests routed but not yet delivered, per node — part of the load
@@ -169,8 +175,9 @@ pub fn simulate_cluster(
             | EventKind::NodeUp { .. }
             | EventKind::Slowdown { .. }
             | EventKind::LinkFactor { .. }
-            | EventKind::Timer { .. } => {
-                unreachable!("chaos events cannot appear in simulate_cluster")
+            | EventKind::Timer { .. }
+            | EventKind::ScaleTick => {
+                unreachable!("chaos/fleet events cannot appear in simulate_cluster")
             }
         }
     }

@@ -51,5 +51,5 @@ pub use scheduler::{
     simulate, simulate_with_policy, AdmissionPolicy, SchedulerConfig, StageCost, StageExecutor,
 };
 pub use slo::max_batch_under_slo;
-pub use trace::{format_trace, parse_trace, ParseTraceError};
+pub use trace::{format_trace, parse_trace, FlashCrowd, ParseTraceError, TraceSpec};
 pub use workload::Workload;

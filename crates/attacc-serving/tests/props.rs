@@ -2,8 +2,9 @@
 
 use attacc_serving::{
     ff_coprocess_speedup, format_trace, head_level_pipelined_s, max_batch_under_slo, parse_trace,
-    serial_s, simulate, simulate_open_loop, ArrivalWorkload, DecoderPhases, SchedulerConfig,
-    StageCost, StageExecutor, Workload,
+    serial_s, simulate, simulate_open_loop, ArrivalWorkload, DecoderPhases, FlashCrowd,
+    SchedulerConfig,
+    StageCost, StageExecutor, TraceSpec, Workload,
 };
 use proptest::prelude::*;
 
@@ -186,5 +187,91 @@ fn trace_error_paths_are_reported_with_reasons() {
             "input {text:?}: reason {:?} should mention {want:?}",
             err.reason
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Composed diurnal + flash-crowd traces hit the requested session
+    /// count exactly, arrive in non-decreasing order with ids assigned
+    /// in arrival order, stay inside the declared length bounds, and are
+    /// deterministic under their seed.
+    #[test]
+    fn composed_traces_are_exact_ordered_and_deterministic(
+        sessions in 1u64..400,
+        mean_rate in 0.5f64..200.0,
+        amplitude in 0.0f64..0.95,
+        period in 1.0f64..120.0,
+        n_crowds in 0usize..3,
+        crowd_peak in 1.0f64..6.0,
+        crowd_start in 0.0f64..60.0,
+        l_in in 1u64..512,
+        l_out_lo in 1u64..32,
+        l_out_extra in 0u64..64,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = TraceSpec {
+            sessions,
+            mean_rate_per_s: mean_rate,
+            diurnal_amplitude: amplitude,
+            diurnal_period_s: period,
+            crowds: (0..n_crowds)
+                .map(|i| FlashCrowd {
+                    start_s: crowd_start + 10.0 * i as f64,
+                    peak: crowd_peak,
+                    ramp_s: 2.0,
+                    hold_s: 5.0,
+                    decay_s: 3.0,
+                })
+                .collect(),
+            l_in,
+            l_out_range: (l_out_lo, l_out_lo + l_out_extra),
+            seed,
+        };
+        let w = spec.generate();
+        prop_assert_eq!(w.arrivals.len() as u64, sessions);
+        for (i, (t, r)) in w.arrivals.iter().enumerate() {
+            prop_assert!(t.is_finite() && *t >= 0.0);
+            prop_assert_eq!(r.id, i as u64);
+            prop_assert_eq!(r.l_in, l_in);
+            prop_assert!(r.l_out >= l_out_lo && r.l_out <= l_out_lo + l_out_extra);
+            if i > 0 {
+                prop_assert!(w.arrivals[i - 1].0 <= *t, "arrivals must be non-decreasing");
+            }
+        }
+        let again = spec.generate();
+        prop_assert!(w.arrivals == again.arrivals, "trace must be deterministic under its seed");
+    }
+
+    /// `format_trace` → `parse_trace` is the identity on generated
+    /// traces: Rust's float formatting is shortest-round-trip, so the
+    /// re-parsed arrival times are bit-identical, not just close.
+    #[test]
+    fn generated_traces_round_trip_through_format_and_parse(
+        sessions in 1u64..200,
+        mean_rate in 0.5f64..100.0,
+        amplitude in 0.0f64..0.9,
+        seed in 0u64..1_000_000,
+    ) {
+        let w = TraceSpec {
+            sessions,
+            mean_rate_per_s: mean_rate,
+            diurnal_amplitude: amplitude,
+            diurnal_period_s: 30.0,
+            crowds: vec![FlashCrowd {
+                start_s: 5.0,
+                peak: 3.0,
+                ramp_s: 1.0,
+                hold_s: 2.0,
+                decay_s: 1.0,
+            }],
+            l_in: 64,
+            l_out_range: (4, 32),
+            seed,
+        }
+        .generate();
+        let parsed = parse_trace(&format_trace(&w)).expect("generated traces must parse");
+        prop_assert!(parsed.arrivals == w.arrivals, "round-trip must be the identity");
     }
 }

@@ -197,13 +197,143 @@ fn reports_are_byte_identical_with_fast_path_forced_on_and_off() {
         TimingCache::global().clear();
         let cluster = attacc_bench::cluster_frontier(24).to_string();
         let chaos = attacc_bench::chaos_goodput_frontier(24).to_string();
-        (cluster, chaos)
+        let autoscale = attacc_bench::autoscale_frontier(2048).to_string();
+        (cluster, chaos, autoscale)
     };
     let exact = render(false);
     let fast = render(true);
     engine::set_fastpath(None); // restore the ATTACC_FASTPATH env default
     assert_eq!(exact.0, fast.0, "fast path changed the cluster frontier");
     assert_eq!(exact.1, fast.1, "fast path changed the chaos goodput frontier");
+    assert_eq!(exact.2, fast.2, "fast path changed the autoscale frontier");
+}
+
+#[test]
+fn monolithic_fleet_is_bit_exact_with_simulate_cluster() {
+    use attacc::cluster::{simulate_fleet, FleetConfig, RouterPolicy};
+
+    // The fleet layer's equivalence pin at workspace level, on the
+    // irrational-cost executor: with no prefill pool, a static decode
+    // pool and no autoscaler, simulate_fleet must hand back
+    // simulate_cluster's exact report — same floats, not just close.
+    let w = ArrivalWorkload::poisson(80, 120.0, 48, (4, 24), 17);
+    let toys = [Toy, Toy, Toy];
+    let nodes: Vec<&dyn StageExecutor> = toys.iter().map(|t| t as &dyn StageExecutor).collect();
+    for policy in [
+        RouterPolicy::PassThrough,
+        RouterPolicy::RoundRobin,
+        RouterPolicy::JoinShortestQueue,
+        RouterPolicy::LeastKvBytes,
+        RouterPolicy::SessionAffinity { spill_backlog: 4 },
+    ] {
+        let cfg = ClusterConfig {
+            policy,
+            ..ClusterConfig::pass_through(SchedulerConfig::unlimited(8))
+        };
+        let base = simulate_cluster(&nodes, &w, &cfg);
+        let fleet = simulate_fleet(&[], &nodes, &w, &FleetConfig::monolithic(&cfg, 3));
+        assert_eq!(
+            fleet.cluster, base,
+            "monolithic fleet diverged from simulate_cluster under {}",
+            policy.name()
+        );
+        assert_eq!((fleet.kv_ships, fleet.scale_events.len()), (0, 0));
+    }
+}
+
+/// Costs built only from power-of-two factors, so every float sum a
+/// report takes is exact regardless of association order — this lets the
+/// disaggregated fleet, which splits one node's work across two nodes
+/// (and therefore sums energies and latencies in a different order), be
+/// compared bit-for-bit against the monolithic run.
+struct Dyadic;
+impl StageExecutor for Dyadic {
+    fn sum_stage(&self, b: u64, l: u64) -> StageCost {
+        StageCost { latency_s: (b * l) as f64 / 1024.0, energy_j: (b * l) as f64 / 4.0 }
+    }
+    fn gen_stage(&self, groups: &[(u64, u64)]) -> StageCost {
+        let work: u64 = groups.iter().map(|&(c, l)| c * l).sum();
+        StageCost { latency_s: work as f64 / 8192.0, energy_j: work as f64 / 16.0 }
+    }
+}
+
+#[test]
+fn disaggregated_pair_with_free_shipping_matches_monolithic_node() {
+    use attacc::cluster::{
+        simulate_fleet, FleetConfig, InterconnectModel, PoolConfig, RouterPolicy, SloSpec,
+    };
+    use attacc::model::Request;
+
+    // One prefill node + one decode node over a zero-cost interconnect,
+    // arrivals spaced far enough apart that exactly one request is in
+    // flight at a time: the prefill node runs the same Sum the
+    // monolithic node would, the hand-off ships for free at the same
+    // instant, and the decode node resumes with the identical Gen group
+    // lengths. Every aggregate the two runs share must match bit-exactly
+    // (per-node detail necessarily differs: two nodes split the work).
+    let arrivals: Vec<(f64, Request)> =
+        (0..12).map(|i| (i as f64, Request::new(i, 8, 2 + i % 3))).collect();
+    let w = ArrivalWorkload { arrivals };
+    let scheduler = SchedulerConfig::unlimited(8);
+    let mono = simulate_cluster(
+        &[&Dyadic],
+        &w,
+        &ClusterConfig::pass_through(scheduler),
+    );
+    let fleet = simulate_fleet(
+        &[&Dyadic],
+        &[&Dyadic],
+        &w,
+        &FleetConfig {
+            prefill: Some(PoolConfig::fixed(1)),
+            decode: PoolConfig::fixed(1),
+            scheduler,
+            policy: RouterPolicy::PassThrough,
+            interconnect: InterconnectModel::ideal(),
+            slo: SloSpec::chatbot(),
+            autoscaler: None,
+        },
+    );
+    let f = &fleet.cluster;
+    assert_eq!(f.completed, mono.completed);
+    assert_eq!(f.abandoned, 0);
+    assert_eq!(f.makespan_s.to_bits(), mono.makespan_s.to_bits(), "makespan drifted");
+    assert_eq!(f.tokens_per_s.to_bits(), mono.tokens_per_s.to_bits(), "throughput drifted");
+    assert_eq!(f.energy_j.to_bits(), mono.energy_j.to_bits(), "energy drifted");
+    assert_eq!(f.ttft, mono.ttft, "TTFT stats drifted");
+    assert_eq!(f.tbt, mono.tbt, "TBT stats drifted");
+    assert_eq!(f.queue_wait, mono.queue_wait, "queue-wait stats drifted");
+    assert_eq!(f.goodput, mono.goodput, "goodput drifted");
+    // Every request generated ≥ 2 tokens, so every one shipped exactly
+    // once; single-token completions would retire at the prefill node.
+    assert_eq!(fleet.kv_ships, w.arrivals.len() as u64);
+}
+
+#[test]
+fn autoscale_frontier_is_byte_identical_across_thread_counts() {
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    engine::set_threads(1);
+    let serial = attacc_bench::autoscale_frontier(2048).to_string();
+    for threads in [2, 8] {
+        engine::set_threads(threads);
+        let parallel = attacc_bench::autoscale_frontier(2048).to_string();
+        assert_eq!(
+            serial, parallel,
+            "autoscale frontier changed between 1 and {threads} threads"
+        );
+    }
+    engine::set_threads(0); // restore env-resolved default
+}
+
+#[test]
+fn autoscale_frontier_is_byte_identical_cold_and_warm_cache() {
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    let cache = TimingCache::global();
+    cache.clear();
+    cache.reset_stats();
+    let cold = attacc_bench::autoscale_frontier(2048).to_string();
+    let warm = attacc_bench::autoscale_frontier(2048).to_string();
+    assert_eq!(cold, warm, "cache hits changed the autoscale frontier");
 }
 
 #[test]

@@ -17,8 +17,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// The tie-break rank the queue documents: fault transitions first,
-/// then arrivals, deliveries, timers, node wake-ups (reimplemented here
-/// so the test cannot accidentally share code with the queue).
+/// then arrivals, deliveries, timers, node wake-ups, and scale ticks
+/// last (reimplemented here so the test cannot accidentally share code
+/// with the queue).
 fn rank(kind: &EventKind) -> u16 {
     match kind {
         EventKind::NodeDown { .. } => 0,
@@ -29,6 +30,7 @@ fn rank(kind: &EventKind) -> u16 {
         EventKind::Deliver { .. } => 5,
         EventKind::Timer { .. } => 6,
         EventKind::NodeReady { .. } => 7,
+        EventKind::ScaleTick => 8,
     }
 }
 
@@ -68,10 +70,10 @@ impl Rng {
     }
 }
 
-/// One of the eight event kinds, chosen by `pick` (covers every rank,
+/// One of the nine event kinds, chosen by `pick` (covers every rank,
 /// including the payload-carrying arrival/delivery kinds).
 fn kind_of(pick: u64) -> EventKind {
-    match pick % 8 {
+    match pick % 9 {
         0 => EventKind::NodeDown { node: (pick / 8 % 5) as usize },
         1 => EventKind::NodeUp { node: (pick / 8 % 5) as usize },
         2 => EventKind::Slowdown { node: (pick / 8 % 5) as usize, factor: 2.0 },
@@ -88,7 +90,8 @@ fn kind_of(pick: u64) -> EventKind {
             attempt: (pick % 3) as u32,
             hedge: pick.is_multiple_of(2),
         },
-        _ => EventKind::NodeReady { node: (pick / 8 % 5) as usize },
+        7 => EventKind::NodeReady { node: (pick / 8 % 5) as usize },
+        _ => EventKind::ScaleTick,
     }
 }
 

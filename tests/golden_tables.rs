@@ -157,6 +157,15 @@ fn golden_chaos() {
 }
 
 #[test]
+fn golden_autoscale() {
+    // Smaller than the binary's AUTOSCALE_SESSIONS but above the KV
+    // stride-sampling threshold (1024): the snapshot pins pool routing,
+    // scale decisions, cold-start accounting and node-second billing,
+    // not the headline 10^5-session numbers.
+    check("autoscale", &[attacc_bench::autoscale_frontier(2048)]);
+}
+
+#[test]
 fn golden_integrity() {
     // Smaller than the binary's INTEGRITY_REQUESTS: the snapshot pins
     // token-fate sampling, the analytic SDC/DUE ladder and the ECC
