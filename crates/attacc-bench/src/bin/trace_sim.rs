@@ -1,0 +1,15 @@
+//! Prints the trace-driven execution experiments: the paper decode
+//! workloads lowered to ISA traces and replayed on the command engine,
+//! the new trace-only attention workloads (sliding window, paged KV),
+//! and the per-opcode time/energy attribution. Pass `--serial` to pin
+//! the sweep engine to one thread (or set `ATTACC_THREADS`), `--quiet`
+//! to suppress the stderr stats footer.
+fn main() {
+    attacc_bench::harness::run("trace_sim", || {
+        vec![
+            attacc_bench::trace_paper_table(),
+            attacc_bench::trace_workloads_table(),
+            attacc_bench::trace_opcode_table(),
+        ]
+    });
+}

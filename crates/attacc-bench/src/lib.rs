@@ -31,6 +31,9 @@ use attacc_serving::{
 };
 use attacc_sim::validate::validate_opt66b;
 use attacc_sim::{SweepRunner, System, SystemExecutor, Table};
+use attacc_trace::{
+    compile, execute_timing, DecodeSchedule, KvPolicy, TimingConfig, TracePayload, TraceReport,
+};
 
 pub mod harness;
 
@@ -1248,6 +1251,127 @@ pub fn ecc_overhead_table() -> Table {
             n(plain.energy.total_pj() / 1e3),
             n(prot.energy.total_pj() / 1e3),
             format!("{:.4}", prot.energy.total_pj() / plain.energy.total_pj()),
+        ]);
+    }
+    t
+}
+
+/// Decode steps per trace-driven workload (one barrier-delimited
+/// generated token per step).
+pub const TRACE_STEPS: u64 = 16;
+
+/// Compiles one GPT-3 175B decode workload to an instruction trace and
+/// replays it on the command engine. Returns (instructions, trace text
+/// bytes, attribution report).
+#[must_use]
+pub fn trace_run(batch: usize, prompt_l: u64, policy: KvPolicy) -> (usize, u64, TraceReport) {
+    let model = ModelConfig::gpt3_175b();
+    let sched = DecodeSchedule::uniform(batch, prompt_l, TRACE_STEPS, policy, TracePayload::Timing);
+    let trace = compile(&model, &sched);
+    let text_bytes = trace.to_text().len() as u64;
+    let report = execute_timing(&TimingConfig::paper(), &trace)
+        .expect("compiled traces are well-formed by construction");
+    (trace.len(), text_bytes, report)
+}
+
+/// Trace-driven paper workloads: the §7 decode schedules lowered to ISA
+/// traces and replayed on the HBM command engine, full KV residency.
+#[must_use]
+pub fn trace_paper_table() -> Table {
+    let mut cells: Vec<(usize, u64)> = Vec::new();
+    for &prompt_l in &[512u64, 2048] {
+        for &batch in &[1usize, 8, 64] {
+            cells.push((batch, prompt_l));
+        }
+    }
+    let runs = SweepRunner::from_env()
+        .map(&cells, |&(batch, prompt_l)| trace_run(batch, prompt_l, KvPolicy::Full));
+    let mut t = Table::new(
+        format!("Trace-driven paper workloads: GPT-3 175B, {TRACE_STEPS} decode steps, full KV"),
+        &[
+            "batch",
+            "Lin",
+            "insts",
+            "trace KiB",
+            "heads",
+            "attn (ms)",
+            "ingest (ms)",
+            "energy (J)",
+            "MAC cmds",
+        ],
+    );
+    for (&(batch, prompt_l), (insts, bytes, r)) in cells.iter().zip(&runs) {
+        t.push_row(vec![
+            batch.to_string(),
+            prompt_l.to_string(),
+            insts.to_string(),
+            n(*bytes as f64 / 1024.0),
+            r.heads_run.to_string(),
+            n(r.attention_s * 1e3),
+            n(r.host_s * 1e3),
+            n(r.energy_j),
+            r.mac_commands.to_string(),
+        ]);
+    }
+    t
+}
+
+/// New attention workloads expressed purely as traces — no simulator
+/// changes: sliding-window attention and paged (blocked) KV with an
+/// attention sink, against the full-residency baseline.
+#[must_use]
+pub fn trace_workloads_table() -> Table {
+    let cells: [(&str, KvPolicy); 3] = [
+        ("full", KvPolicy::Full),
+        ("window-256", KvPolicy::SlidingWindow { window: 256 }),
+        ("paged-256x2+sink", KvPolicy::Paged { tokens_per_page: 256, recent_pages: 2 }),
+    ];
+    let runs =
+        SweepRunner::from_env().map(&cells, |&(_, policy)| trace_run(8, 2048, policy));
+    let base_attn = runs[0].2.attention_s;
+    let mut t = Table::new(
+        format!("Trace workloads: GPT-3 175B, batch 8, Lin=2048, {TRACE_STEPS} decode steps"),
+        &[
+            "workload",
+            "insts",
+            "heads",
+            "attn (ms)",
+            "vs full",
+            "energy (J)",
+            "ingest (MiB)",
+            "barriers",
+        ],
+    );
+    for ((name, _), (insts, _, r)) in cells.iter().zip(&runs) {
+        t.push_row(vec![
+            (*name).into(),
+            insts.to_string(),
+            r.heads_run.to_string(),
+            n(r.attention_s * 1e3),
+            n(r.attention_s / base_attn),
+            n(r.energy_j),
+            n(r.host_bytes as f64 / (1u64 << 20) as f64),
+            r.barriers.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Per-instruction attribution of the paged workload: where a trace
+/// replay spends its time and energy, by opcode.
+#[must_use]
+pub fn trace_opcode_table() -> Table {
+    let (_, _, r) = trace_run(8, 2048, KvPolicy::Paged { tokens_per_page: 256, recent_pages: 2 });
+    let mut t = Table::new(
+        "Trace attribution by opcode: paged-256x2+sink, batch 8, Lin=2048",
+        &["opcode", "count", "time (ms)", "energy (J)"],
+    );
+    for (opcode, c) in &r.per_opcode {
+        t.push_row(vec![
+            (*opcode).into(),
+            c.count.to_string(),
+            n(c.time_s * 1e3),
+            n(c.energy_j),
         ]);
     }
     t

@@ -16,7 +16,7 @@ use crate::mapping::{hierarchical_gemv, HeadAllocator, HeadId, MappingPolicy};
 use crate::numeric::{f16_round, Matrix};
 use crate::softmax_unit::SoftmaxUnit;
 use attacc_hbm::StackGeometry;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Contents of the controller's config memory (§5.1): model geometry plus
 /// per-request context lengths.
@@ -61,6 +61,11 @@ pub struct AttAccController {
     softmax: SoftmaxUnit,
     kv_capacity_bytes: u64,
     kv_bytes_per_vector: u64,
+    /// `Some(tokens_per_page)` once `ConfigPages` enables paged KV.
+    tokens_per_page: Option<u64>,
+    /// Pages each head currently streams from (paged mode only). A
+    /// `BTreeSet` keeps iteration deterministic.
+    mapped_pages: HashMap<(u64, u32), BTreeSet<u64>>,
 }
 
 impl AttAccController {
@@ -87,7 +92,21 @@ impl AttAccController {
             softmax: SoftmaxUnit::new(),
             kv_capacity_bytes: geom.capacity_bytes * n_stacks as u64,
             kv_bytes_per_vector: 0,
+            tokens_per_page: None,
+            mapped_pages: HashMap::new(),
         }
+    }
+
+    /// Tokens per KV page, once `ConfigPages` has enabled paged mode.
+    #[must_use]
+    pub fn tokens_per_page(&self) -> Option<u64> {
+        self.tokens_per_page
+    }
+
+    /// Pages a head currently has mapped (paged mode only).
+    #[must_use]
+    pub fn mapped_pages(&self, request: u64, head: u32) -> Option<&BTreeSet<u64>> {
+        self.mapped_pages.get(&(request, head))
     }
 
     /// Physical (pCH, bank) span of a head's key matrix on its stack, if
@@ -168,6 +187,8 @@ impl AttAccController {
                 self.head_stacks.clear();
                 self.heads.clear();
                 self.allocator = HeadAllocator::new(n_stacks);
+                self.tokens_per_page = None;
+                self.mapped_pages.clear();
                 Ok(None)
             }
             AttInst::UpdateRequest { request, remove } => {
@@ -178,6 +199,7 @@ impl AttAccController {
                         return Err(InstError::UnknownRequest(request));
                     }
                     self.heads.retain(|&(r, _), _| r != request);
+                    self.mapped_pages.retain(|&(r, _), _| r != request);
                     for h in 0..n_head {
                         if let Some(stack) = self.head_stacks.remove(&(request, h)) {
                             self.stores[stack].close_head(HeadId { request, head: h });
@@ -254,52 +276,155 @@ impl AttAccController {
                 store.q = Some(q);
                 Ok(None)
             }
-            AttInst::RunAttention { request, head } => {
+            AttInst::DeclareKv { request, head, tokens } => {
                 let d_head = self.cfg()?.d_head;
-                let score_policy = self.score_policy.clone();
-                let context_policy = self.context_policy.clone();
-                let gemv = self.gemv;
-                let accum = self.accum;
-                let softmax = self.softmax.clone();
                 let store = self.head_mut(request, head)?;
-                let l = store.keys.len();
-                if l == 0 {
-                    return Err(InstError::EmptyKv);
+                for _ in 0..tokens {
+                    store.keys.push(vec![0.0; d_head]);
+                    store.values.push(vec![0.0; d_head]);
                 }
-                let q = store.q.clone().ok_or(InstError::MissingQ)?;
-
-                // Build Kᵀ (d_head × l): column j is keys[j].
-                let mut kt = Matrix::zeros(d_head, l);
-                for (j, key) in store.keys.iter().enumerate() {
-                    for (r, &val) in key.iter().enumerate() {
-                        kt.set(r, j, val);
+                if let Some(&stack) = self.head_stacks.get(&(request, head)) {
+                    let id = HeadId { request, head };
+                    for _ in 0..tokens {
+                        let _ = self.stores[stack].append(id, KvHalf::Key);
+                        let _ = self.stores[stack].append(id, KvHalf::Value);
                     }
                 }
-                // GEMV_score with the 1/√d scale folded in.
-                let mut scores =
-                    hierarchical_gemv(&gemv, &accum, &score_policy, &q, &kt);
-                let scale = 1.0 / (d_head as f32).sqrt();
-                for s in &mut scores {
-                    *s *= scale;
-                }
-                // PIM_SFM on the buffer die.
-                let weights = softmax.compute(&scores);
-                // Build V (l × d_head) and run GEMV_context.
-                let mut v = Matrix::zeros(l, d_head);
-                for (j, row) in store.values.iter().enumerate() {
-                    for (c, &val) in row.iter().enumerate() {
-                        v.set(j, c, val);
+                if head == 0 {
+                    self.allocator
+                        .grow(request, tokens * 2 * self.kv_bytes_per_vector);
+                    let cfg = self.config.as_mut().expect("configured");
+                    if let Some(l) = cfg.request_len.get_mut(&request) {
+                        *l += tokens;
                     }
                 }
-                let out = hierarchical_gemv(&gemv, &accum, &context_policy, &weights, &v);
-                store.out = Some(out);
+                Ok(None)
+            }
+            AttInst::RunAttention { request, head } => {
+                self.run_attention_one(request, head)?;
+                Ok(None)
+            }
+            AttInst::RunAttentionBatch { request, head0, n_heads } => {
+                for head in head0..head0.saturating_add(n_heads) {
+                    self.run_attention_one(request, head)?;
+                }
                 Ok(None)
             }
             AttInst::ReadOutput { request, head } => {
                 let store = self.head_mut(request, head)?;
                 store.out.take().map(Some).ok_or(InstError::NoOutput)
             }
+            AttInst::EvictKv { request, head, keep_last } => {
+                let store = self.head_mut(request, head)?;
+                let l = store.keys.len() as u64;
+                let evicted = l.saturating_sub(keep_last);
+                if evicted > 0 {
+                    store.keys.drain(..evicted as usize);
+                    store.values.drain(..evicted as usize);
+                }
+                // Head 0 carries the bookkeeping, mirroring AppendKv.
+                if head == 0 && evicted > 0 {
+                    self.allocator
+                        .shrink(request, evicted * 2 * self.kv_bytes_per_vector);
+                    let cfg = self.config.as_mut().expect("configured");
+                    if let Some(len) = cfg.request_len.get_mut(&request) {
+                        *len -= evicted;
+                    }
+                }
+                Ok(None)
+            }
+            AttInst::ConfigPages { tokens_per_page } => {
+                self.cfg()?;
+                self.tokens_per_page = Some(tokens_per_page.max(1));
+                Ok(None)
+            }
+            AttInst::MapPage { request, head, page } => {
+                if self.tokens_per_page.is_none() {
+                    return Err(InstError::PagingNotConfigured);
+                }
+                self.head_mut(request, head)?;
+                self.mapped_pages.entry((request, head)).or_default().insert(page);
+                Ok(None)
+            }
+            AttInst::UnmapPage { request, head, page } => {
+                if self.tokens_per_page.is_none() {
+                    return Err(InstError::PagingNotConfigured);
+                }
+                self.head_mut(request, head)?;
+                let mapped = self
+                    .mapped_pages
+                    .get_mut(&(request, head))
+                    .ok_or(InstError::PageNotMapped(page))?;
+                if !mapped.remove(&page) {
+                    return Err(InstError::PageNotMapped(page));
+                }
+                Ok(None)
+            }
+            AttInst::Barrier { .. } => Ok(None),
         }
+    }
+
+    /// Score → softmax → context for one head: the body of
+    /// `RunAttention`, shared with `RunAttentionBatch`. In paged mode
+    /// only tokens on mapped pages participate.
+    fn run_attention_one(&mut self, request: u64, head: u32) -> Result<(), InstError> {
+        let d_head = self.cfg()?.d_head;
+        let score_policy = self.score_policy.clone();
+        let context_policy = self.context_policy.clone();
+        let gemv = self.gemv;
+        let accum = self.accum;
+        let softmax = self.softmax.clone();
+        // Paged mode: tokens on unmapped pages are skipped entirely (the
+        // stream never touches their banks). Resolve visibility before
+        // borrowing the head store.
+        let visible_page = self.tokens_per_page.map(|tpp| {
+            let mapped = self.mapped_pages.get(&(request, head)).cloned().unwrap_or_default();
+            (tpp, mapped)
+        });
+        let store = self.head_mut(request, head)?;
+        let l = store.keys.len();
+        if l == 0 {
+            return Err(InstError::EmptyKv);
+        }
+        let q = store.q.clone().ok_or(InstError::MissingQ)?;
+        let tokens: Vec<usize> = (0..l)
+            .filter(|&j| match &visible_page {
+                None => true,
+                Some((tpp, mapped)) => mapped.contains(&(j as u64 / tpp)),
+            })
+            .collect();
+        if tokens.is_empty() {
+            return Err(InstError::NothingMapped);
+        }
+
+        // Build Kᵀ (d_head × l_eff): column j is the j-th visible key.
+        let l_eff = tokens.len();
+        let mut kt = Matrix::zeros(d_head, l_eff);
+        for (j, &tok) in tokens.iter().enumerate() {
+            for (r, &val) in store.keys[tok].iter().enumerate() {
+                kt.set(r, j, val);
+            }
+        }
+        // GEMV_score with the 1/√d scale folded in. The scale is applied
+        // in f64 exactly as `ProtectedAttention::scores` does, so the
+        // controller path is bit-identical to the integrity path.
+        let mut scores = hierarchical_gemv(&gemv, &accum, &score_policy, &q, &kt);
+        let scale = 1.0 / (d_head as f64).sqrt();
+        for s in &mut scores {
+            *s = (f64::from(*s) * scale) as f32;
+        }
+        // PIM_SFM on the buffer die.
+        let weights = softmax.compute(&scores);
+        // Build V (l_eff × d_head) and run GEMV_context.
+        let mut v = Matrix::zeros(l_eff, d_head);
+        for (j, &tok) in tokens.iter().enumerate() {
+            for (c, &val) in store.values[tok].iter().enumerate() {
+                v.set(j, c, val);
+            }
+        }
+        let out = hierarchical_gemv(&gemv, &accum, &context_policy, &weights, &v);
+        store.out = Some(out);
+        Ok(())
     }
 }
 

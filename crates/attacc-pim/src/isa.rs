@@ -5,6 +5,20 @@
 //! `AttAcc::MemCopy` moves Q/K/V vectors and results, and
 //! `AttAcc::RunAttention` launches one head's attention. The
 //! [`crate::AttAccController`] executes these instructions functionally.
+//!
+//! Beyond the paper's API the ISA carries the timing-relevant
+//! instructions trace-driven execution needs (`attacc-trace` compiles
+//! model graphs into these): [`AttInst::RunAttentionBatch`] launches a
+//! whole head group, [`AttInst::DeclareKv`] registers KV shipped in bulk
+//! from a prefill node, [`AttInst::EvictKv`] trims a head's window,
+//! [`AttInst::ConfigPages`]/[`AttInst::MapPage`]/[`AttInst::UnmapPage`]
+//! implement paged (blocked) KV residency, and [`AttInst::Barrier`]
+//! marks an xPU↔PIM handoff point.
+//!
+//! Every instruction has a stable one-line text form ([`fmt::Display`])
+//! that the `attacc-trace` codec parses back; [`AttInst`] is `Eq` under
+//! the codec's contract that vector payloads are finite (the parser
+//! rejects NaN/Inf, so `PartialEq` is total on codec-legal traces).
 
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
@@ -45,6 +59,21 @@ pub enum AttInst {
         /// New value vector (`d_head` values).
         v: Vec<f32>,
     },
+    /// Bulk KV registration: `tokens` K/V vector pairs become resident on
+    /// a head without their values crossing the instruction stream — the
+    /// DMA path used when a prefill (Sum) node ships a finished KV block
+    /// over the interconnect. The functional controller zero-fills the
+    /// vectors (contents live in the DMA payload, not the trace); the
+    /// timing executor charges the transfer and advances the context
+    /// length.
+    DeclareKv {
+        /// Owning request.
+        request: u64,
+        /// Head index.
+        head: u32,
+        /// Number of token KV pairs registered.
+        tokens: u64,
+    },
     /// `AttAcc::MemCopy` of the Q vector into the head's GEMV buffers.
     LoadQ {
         /// Owning request.
@@ -62,6 +91,18 @@ pub enum AttInst {
         /// Head index.
         head: u32,
     },
+    /// Batched `AttAcc::RunAttention` over a contiguous head group:
+    /// heads `head0 .. head0 + n_heads` execute back-to-back, one command
+    /// issue instead of `n_heads` (the §6.1 attention-level pipeline runs
+    /// inside one launch).
+    RunAttentionBatch {
+        /// Owning request.
+        request: u64,
+        /// First head of the group.
+        head0: u32,
+        /// Number of consecutive heads launched.
+        n_heads: u32,
+    },
     /// `AttAcc::MemCopy` toward the host: read a head's context output.
     ReadOutput {
         /// Owning request.
@@ -69,6 +110,140 @@ pub enum AttInst {
         /// Head index.
         head: u32,
     },
+    /// Sliding-window eviction: drop a head's oldest KV vectors so at
+    /// most `keep_last` tokens remain resident. Bookkeeping (context
+    /// length, capacity accounting) follows head 0, mirroring
+    /// [`AttInst::AppendKv`]'s lockstep convention.
+    EvictKv {
+        /// Owning request.
+        request: u64,
+        /// Head index.
+        head: u32,
+        /// Tokens to retain (the attention window).
+        keep_last: u64,
+    },
+    /// Enables paged (blocked) KV: subsequent attention launches stream
+    /// only the KV pages a head has mapped. Pages partition each head's
+    /// token sequence into fixed blocks of `tokens_per_page` tokens
+    /// (page `p` covers tokens `p·tokens_per_page ..`).
+    ConfigPages {
+        /// Tokens per KV page.
+        tokens_per_page: u64,
+    },
+    /// Marks one KV page of a head resident for attention.
+    MapPage {
+        /// Owning request.
+        request: u64,
+        /// Head index.
+        head: u32,
+        /// Page index.
+        page: u64,
+    },
+    /// Removes one KV page of a head from the attention stream (the page
+    /// stays allocated; [`AttInst::EvictKv`] or request retirement frees
+    /// capacity).
+    UnmapPage {
+        /// Owning request.
+        request: u64,
+        /// Head index.
+        head: u32,
+        /// Page index.
+        page: u64,
+    },
+    /// xPU↔PIM synchronization marker: all preceding PIM work must drain
+    /// before the host proceeds (the FC layers between attention layers
+    /// run on the xPU). Functionally a no-op; trace executors use it as
+    /// an attribution boundary.
+    Barrier {
+        /// Host-chosen tag identifying the sync point.
+        tag: u32,
+    },
+}
+
+/// `AttInst` equality is total in practice: the trace codec refuses
+/// non-finite vector payloads (`NaN`/`Inf` never round-trip), so the
+/// reflexivity `Eq` asserts holds on every codec-legal instruction.
+impl Eq for AttInst {}
+
+/// The stable opcode mnemonic of each instruction — the first token of
+/// its [`fmt::Display`] line and the key trace reports aggregate by.
+impl AttInst {
+    /// Opcode mnemonic (stable across releases; the trace text format).
+    #[must_use]
+    pub fn opcode(&self) -> &'static str {
+        match self {
+            AttInst::SetModel { .. } => "set_model",
+            AttInst::UpdateRequest { remove: false, .. } => "admit",
+            AttInst::UpdateRequest { remove: true, .. } => "retire",
+            AttInst::AppendKv { .. } => "append",
+            AttInst::DeclareKv { .. } => "declare_kv",
+            AttInst::LoadQ { .. } => "load_q",
+            AttInst::RunAttention { .. } => "run",
+            AttInst::RunAttentionBatch { .. } => "run_batch",
+            AttInst::ReadOutput { .. } => "read",
+            AttInst::EvictKv { .. } => "evict_kv",
+            AttInst::ConfigPages { .. } => "config_pages",
+            AttInst::MapPage { .. } => "map_page",
+            AttInst::UnmapPage { .. } => "unmap_page",
+            AttInst::Barrier { .. } => "barrier",
+        }
+    }
+}
+
+fn write_vec(f: &mut fmt::Formatter<'_>, name: &str, v: &[f32]) -> fmt::Result {
+    write!(f, " {name}=")?;
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            f.write_str(",")?;
+        }
+        // `{}` on f32 is the shortest representation that parses back to
+        // the same bits, so the codec round-trips exactly.
+        write!(f, "{x}")?;
+    }
+    Ok(())
+}
+
+/// The canonical one-line trace form: `opcode key=value ...`, keys in a
+/// fixed order, floats in shortest round-trip notation. This format is
+/// the trace file format — `attacc-trace::parse_inst` inverts it.
+impl fmt::Display for AttInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.opcode())?;
+        match self {
+            AttInst::SetModel { n_head, d_head, max_l } => {
+                write!(f, " n_head={n_head} d_head={d_head} max_l={max_l}")
+            }
+            AttInst::UpdateRequest { request, .. } => write!(f, " req={request}"),
+            AttInst::AppendKv { request, head, k, v } => {
+                write!(f, " req={request} head={head}")?;
+                write_vec(f, "k", k)?;
+                write_vec(f, "v", v)
+            }
+            AttInst::DeclareKv { request, head, tokens } => {
+                write!(f, " req={request} head={head} tokens={tokens}")
+            }
+            AttInst::LoadQ { request, head, q } => {
+                write!(f, " req={request} head={head}")?;
+                write_vec(f, "q", q)
+            }
+            AttInst::RunAttention { request, head } | AttInst::ReadOutput { request, head } => {
+                write!(f, " req={request} head={head}")
+            }
+            AttInst::RunAttentionBatch { request, head0, n_heads } => {
+                write!(f, " req={request} head0={head0} n_heads={n_heads}")
+            }
+            AttInst::EvictKv { request, head, keep_last } => {
+                write!(f, " req={request} head={head} keep_last={keep_last}")
+            }
+            AttInst::ConfigPages { tokens_per_page } => {
+                write!(f, " tokens_per_page={tokens_per_page}")
+            }
+            AttInst::MapPage { request, head, page } | AttInst::UnmapPage { request, head, page } => {
+                write!(f, " req={request} head={head} page={page}")
+            }
+            AttInst::Barrier { tag } => write!(f, " tag={tag}"),
+        }
+    }
 }
 
 /// Errors the controller can raise while executing instructions.
@@ -89,12 +264,50 @@ pub enum InstError {
     },
     /// `RunAttention` before any KV vectors were appended.
     EmptyKv,
+    /// `RunAttention` with every resident token masked out (all pages
+    /// unmapped, or the window evicted to zero).
+    NothingMapped,
     /// `RunAttention` before the Q vector was loaded.
     MissingQ,
     /// `ReadOutput` before `RunAttention`.
     NoOutput,
     /// Admitting the request would exceed device KV capacity.
     CapacityExceeded,
+    /// `MapPage`/`UnmapPage` before `ConfigPages`.
+    PagingNotConfigured,
+    /// `UnmapPage` of a page that is not mapped.
+    PageNotMapped(u64),
+    /// An error raised while replaying instruction `index` of a trace:
+    /// trace executors wrap the underlying failure so it points at a
+    /// line in the trace file (line = index + 1 plus any header lines).
+    Trace {
+        /// Zero-based index of the offending instruction in the trace.
+        index: usize,
+        /// The underlying failure.
+        cause: Box<InstError>,
+    },
+}
+
+impl InstError {
+    /// Wraps an error with the trace-instruction index that raised it.
+    /// Already-wrapped errors keep their original (innermost) index.
+    #[must_use]
+    pub fn at_index(self, index: usize) -> InstError {
+        match self {
+            InstError::Trace { .. } => self,
+            other => InstError::Trace { index, cause: Box::new(other) },
+        }
+    }
+
+    /// The trace-instruction index attached by [`InstError::at_index`],
+    /// if any.
+    #[must_use]
+    pub fn trace_index(&self) -> Option<usize> {
+        match self {
+            InstError::Trace { index, .. } => Some(*index),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for InstError {
@@ -107,14 +320,31 @@ impl fmt::Display for InstError {
                 write!(f, "vector length {got} does not match d_head {expected}")
             }
             InstError::EmptyKv => write!(f, "attention launched with an empty KV cache"),
+            InstError::NothingMapped => {
+                write!(f, "attention launched with every resident token masked out")
+            }
             InstError::MissingQ => write!(f, "attention launched before the Q vector was loaded"),
             InstError::NoOutput => write!(f, "no attention output available to read"),
             InstError::CapacityExceeded => write!(f, "device KV capacity exceeded"),
+            InstError::PagingNotConfigured => {
+                write!(f, "page instruction before ConfigPages")
+            }
+            InstError::PageNotMapped(p) => write!(f, "page {p} is not mapped"),
+            InstError::Trace { index, cause } => {
+                write!(f, "trace instruction #{index}: {cause}")
+            }
         }
     }
 }
 
-impl std::error::Error for InstError {}
+impl std::error::Error for InstError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InstError::Trace { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -128,9 +358,13 @@ mod tests {
             InstError::UnknownHead(9),
             InstError::DimensionMismatch { expected: 4, got: 5 },
             InstError::EmptyKv,
+            InstError::NothingMapped,
             InstError::MissingQ,
             InstError::NoOutput,
             InstError::CapacityExceeded,
+            InstError::PagingNotConfigured,
+            InstError::PageNotMapped(7),
+            InstError::EmptyKv.at_index(12),
         ] {
             assert!(!e.to_string().is_empty());
         }
@@ -144,5 +378,64 @@ mod tests {
             q: vec![0.5, 1.0],
         };
         assert!(format!("{inst:?}").contains("LoadQ"));
+    }
+
+    #[test]
+    fn display_is_the_stable_trace_line() {
+        let cases = [
+            (
+                AttInst::SetModel { n_head: 96, d_head: 128, max_l: 2048 },
+                "set_model n_head=96 d_head=128 max_l=2048",
+            ),
+            (AttInst::UpdateRequest { request: 3, remove: false }, "admit req=3"),
+            (AttInst::UpdateRequest { request: 3, remove: true }, "retire req=3"),
+            (
+                AttInst::AppendKv { request: 0, head: 2, k: vec![0.5, -1.25], v: vec![0.0, 3.0] },
+                "append req=0 head=2 k=0.5,-1.25 v=0,3",
+            ),
+            (
+                AttInst::DeclareKv { request: 1, head: 0, tokens: 2048 },
+                "declare_kv req=1 head=0 tokens=2048",
+            ),
+            (AttInst::LoadQ { request: 0, head: 1, q: vec![1.5] }, "load_q req=0 head=1 q=1.5"),
+            (AttInst::RunAttention { request: 0, head: 5 }, "run req=0 head=5"),
+            (
+                AttInst::RunAttentionBatch { request: 0, head0: 0, n_heads: 96 },
+                "run_batch req=0 head0=0 n_heads=96",
+            ),
+            (AttInst::ReadOutput { request: 0, head: 5 }, "read req=0 head=5"),
+            (
+                AttInst::EvictKv { request: 0, head: 5, keep_last: 256 },
+                "evict_kv req=0 head=5 keep_last=256",
+            ),
+            (AttInst::ConfigPages { tokens_per_page: 64 }, "config_pages tokens_per_page=64"),
+            (AttInst::MapPage { request: 0, head: 5, page: 3 }, "map_page req=0 head=5 page=3"),
+            (
+                AttInst::UnmapPage { request: 0, head: 5, page: 3 },
+                "unmap_page req=0 head=5 page=3",
+            ),
+            (AttInst::Barrier { tag: 7 }, "barrier tag=7"),
+        ];
+        for (inst, line) in cases {
+            assert_eq!(inst.to_string(), line);
+            assert!(line.starts_with(inst.opcode()));
+        }
+    }
+
+    #[test]
+    fn eq_holds_on_finite_payloads() {
+        let a = AttInst::LoadQ { request: 1, head: 2, q: vec![0.5, 1.0] };
+        assert_eq!(a, a.clone());
+        let b = AttInst::LoadQ { request: 1, head: 2, q: vec![0.5, 1.5] };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trace_index_wraps_once() {
+        let e = InstError::EmptyKv.at_index(4);
+        assert_eq!(e.trace_index(), Some(4));
+        assert_eq!(e.clone().at_index(9).trace_index(), Some(4));
+        assert_eq!(InstError::EmptyKv.trace_index(), None);
+        assert!(e.to_string().contains("#4"));
     }
 }

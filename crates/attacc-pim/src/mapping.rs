@@ -317,6 +317,27 @@ impl HeadAllocator {
         }
     }
 
+    /// Shrinks every head of `request` by `delta_bytes` (a KV eviction
+    /// releasing old tokens back to the stack).
+    ///
+    /// # Panics
+    /// Panics if the request is unknown or a head holds fewer than
+    /// `delta_bytes`.
+    pub fn shrink(&mut self, request: u64, delta_bytes: u64) {
+        let heads = self
+            .assignments
+            .get_mut(&request)
+            .unwrap_or_else(|| panic!("request {request} not allocated"));
+        for (_, stack, bytes) in heads.iter_mut() {
+            assert!(
+                *bytes >= delta_bytes,
+                "shrink of {delta_bytes} bytes exceeds the {bytes} resident"
+            );
+            *bytes -= delta_bytes;
+            self.loads[*stack] -= delta_bytes;
+        }
+    }
+
     /// Releases all heads of a completed request, freeing their bytes.
     /// Unknown requests are ignored (idempotent).
     pub fn release(&mut self, request: u64) {
@@ -482,6 +503,25 @@ mod tests {
         assert_eq!(a.total_load(), 0);
         a.release(1); // idempotent
         assert_eq!(a.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn allocator_shrink_reverses_grow() {
+        let mut a = HeadAllocator::new(2);
+        a.allocate(1, 4, 10);
+        a.grow(1, 6);
+        a.shrink(1, 4);
+        assert_eq!(a.total_load(), 4 * 12);
+        a.shrink(1, 12);
+        assert_eq!(a.total_load(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn allocator_shrink_below_zero_panics() {
+        let mut a = HeadAllocator::new(2);
+        a.allocate(1, 1, 10);
+        a.shrink(1, 11);
     }
 
     #[test]

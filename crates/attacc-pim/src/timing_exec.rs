@@ -52,7 +52,10 @@ pub fn gemv_stream_spec(
     placement: GemvPlacement,
     matrix_bytes_on_stack: u64,
 ) -> StreamSpec {
-    let per_pch = matrix_bytes_on_stack / u64::from(hbm.geometry.pseudo_channels);
+    // Round up: a tile that does not divide evenly still streams its
+    // remainder bytes (the last pCH's beats), so truncating here would
+    // undercharge small or odd-shaped heads.
+    let per_pch = matrix_bytes_on_stack.div_ceil(u64::from(hbm.geometry.pseudo_channels));
     StreamSpec {
         bytes_per_bank: StreamSpec::uniform(&hbm.geometry, per_pch, 1).bytes_per_bank,
         max_active: placement.max_active_per_pch(hbm),
@@ -114,6 +117,27 @@ mod tests {
                 err * 100.0
             );
         }
+    }
+
+    #[test]
+    fn non_divisible_matrix_rounds_bytes_up() {
+        let (hbm, _) = setup();
+        let pchs = u64::from(hbm.geometry.pseudo_channels);
+        // One byte more than an even split: the remainder must stream,
+        // not vanish in integer division.
+        let even = pchs * 1024;
+        let spec_even = gemv_stream_spec(&hbm, GemvPlacement::Bank, even);
+        let spec_odd = gemv_stream_spec(&hbm, GemvPlacement::Bank, even + 1);
+        let total = |s: &StreamSpec| s.bytes_per_bank.iter().sum::<u64>();
+        assert_eq!(total(&spec_even), 1024);
+        assert!(
+            total(&spec_odd) > total(&spec_even),
+            "remainder byte dropped: {} vs {}",
+            total(&spec_odd),
+            total(&spec_even)
+        );
+        // Per-pCH bytes never undercount the stack tile.
+        assert!(total(&spec_odd) * pchs > even);
     }
 
     #[test]

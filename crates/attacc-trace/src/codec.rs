@@ -1,0 +1,326 @@
+//! The trace file format: one [`AttInst`] per line, round-trippable.
+//!
+//! A trace is plain text. Blank lines and lines starting with `#` are
+//! comments; every other line is the canonical [`std::fmt::Display`]
+//! form of one instruction — `opcode key=value ...` with the keys in a
+//! fixed order and float vectors comma-separated in Rust's shortest
+//! round-trip notation (`{}` on `f32` prints the shortest decimal that
+//! parses back to the same bits). The parser is strict: unknown
+//! opcodes, missing or re-ordered keys, trailing garbage, and
+//! non-finite floats (`NaN`/`inf` never appear in a well-formed trace)
+//! are all errors naming the offending line. Strictness is what makes
+//! `parse(format(t)) == t` and `format(parse(s)) == s` both hold
+//! byte-for-byte — the property the round-trip suite pins.
+
+use attacc_pim::AttInst;
+use std::fmt;
+use std::str::FromStr;
+
+/// A compiled instruction trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Trace {
+    /// Instructions in execution order.
+    pub insts: Vec<AttInst>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` when the trace holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Renders the trace in the canonical text format (no comments, one
+    /// instruction per line, trailing newline).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for inst in &self.insts {
+            out.push_str(&inst.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a trace from text.
+    ///
+    /// # Errors
+    /// Returns a [`TraceParseError`] naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Trace, TraceParseError> {
+        let mut insts = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let inst = parse_inst(line).map_err(|message| TraceParseError {
+                line: i + 1,
+                message,
+            })?;
+            insts.push(inst);
+        }
+        Ok(Trace { insts })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+impl FromStr for Trace {
+    type Err = TraceParseError;
+
+    fn from_str(s: &str) -> Result<Trace, TraceParseError> {
+        Trace::parse(s)
+    }
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number in the input text.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Pulls the fields of one line, checking key names arrive in the
+/// canonical order.
+struct Fields<'a> {
+    opcode: &'a str,
+    rest: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Fields<'a> {
+    fn of(line: &'a str) -> Result<Fields<'a>, String> {
+        let mut rest = line.split_whitespace();
+        let opcode = rest.next().ok_or_else(|| "empty instruction".to_string())?;
+        Ok(Fields { opcode, rest })
+    }
+
+    /// The raw value of the next field, which must be named `key`.
+    fn value(&mut self, key: &str) -> Result<&'a str, String> {
+        let tok = self
+            .rest
+            .next()
+            .ok_or_else(|| format!("missing field {key}"))?;
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("expected {key}=..., got {tok:?}"))?;
+        if k != key {
+            return Err(format!("expected field {key}, got {k}"));
+        }
+        Ok(v)
+    }
+
+    fn u64(&mut self, key: &str) -> Result<u64, String> {
+        let v = self.value(key)?;
+        v.parse().map_err(|_| format!("bad {key} value {v:?}"))
+    }
+
+    fn u32(&mut self, key: &str) -> Result<u32, String> {
+        let v = self.value(key)?;
+        v.parse().map_err(|_| format!("bad {key} value {v:?}"))
+    }
+
+    fn usize(&mut self, key: &str) -> Result<usize, String> {
+        let v = self.value(key)?;
+        v.parse().map_err(|_| format!("bad {key} value {v:?}"))
+    }
+
+    /// A comma-separated finite-f32 vector (empty value = empty vector).
+    fn vec_f32(&mut self, key: &str) -> Result<Vec<f32>, String> {
+        let v = self.value(key)?;
+        if v.is_empty() {
+            return Ok(Vec::new());
+        }
+        v.split(',')
+            .map(|s| {
+                let x: f32 = s.parse().map_err(|_| format!("bad float {s:?} in {key}"))?;
+                if !x.is_finite() {
+                    return Err(format!("non-finite value {s:?} in {key}"));
+                }
+                Ok(x)
+            })
+            .collect()
+    }
+
+    /// Asserts the line is exhausted.
+    fn end(mut self) -> Result<(), String> {
+        match self.rest.next() {
+            None => Ok(()),
+            Some(extra) => Err(format!("unexpected trailing field {extra:?}")),
+        }
+    }
+}
+
+/// Parses one canonical trace line into an instruction.
+///
+/// # Errors
+/// Returns a message describing the first malformed field.
+pub fn parse_inst(line: &str) -> Result<AttInst, String> {
+    let mut f = Fields::of(line)?;
+    let inst = match f.opcode {
+        "set_model" => AttInst::SetModel {
+            n_head: f.u32("n_head")?,
+            d_head: f.usize("d_head")?,
+            max_l: f.u64("max_l")?,
+        },
+        "admit" => AttInst::UpdateRequest { request: f.u64("req")?, remove: false },
+        "retire" => AttInst::UpdateRequest { request: f.u64("req")?, remove: true },
+        "append" => AttInst::AppendKv {
+            request: f.u64("req")?,
+            head: f.u32("head")?,
+            k: f.vec_f32("k")?,
+            v: f.vec_f32("v")?,
+        },
+        "declare_kv" => AttInst::DeclareKv {
+            request: f.u64("req")?,
+            head: f.u32("head")?,
+            tokens: f.u64("tokens")?,
+        },
+        "load_q" => AttInst::LoadQ {
+            request: f.u64("req")?,
+            head: f.u32("head")?,
+            q: f.vec_f32("q")?,
+        },
+        "run" => AttInst::RunAttention { request: f.u64("req")?, head: f.u32("head")? },
+        "run_batch" => AttInst::RunAttentionBatch {
+            request: f.u64("req")?,
+            head0: f.u32("head0")?,
+            n_heads: f.u32("n_heads")?,
+        },
+        "read" => AttInst::ReadOutput { request: f.u64("req")?, head: f.u32("head")? },
+        "evict_kv" => AttInst::EvictKv {
+            request: f.u64("req")?,
+            head: f.u32("head")?,
+            keep_last: f.u64("keep_last")?,
+        },
+        "config_pages" => AttInst::ConfigPages { tokens_per_page: f.u64("tokens_per_page")? },
+        "map_page" => AttInst::MapPage {
+            request: f.u64("req")?,
+            head: f.u32("head")?,
+            page: f.u64("page")?,
+        },
+        "unmap_page" => AttInst::UnmapPage {
+            request: f.u64("req")?,
+            head: f.u32("head")?,
+            page: f.u64("page")?,
+        },
+        "barrier" => AttInst::Barrier { tag: f.u32("tag")? },
+        other => return Err(format!("unknown opcode {other:?}")),
+    };
+    f.end()?;
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_instructions() -> Vec<AttInst> {
+        vec![
+            AttInst::SetModel { n_head: 96, d_head: 128, max_l: 2048 },
+            AttInst::UpdateRequest { request: 0, remove: false },
+            AttInst::AppendKv {
+                request: 0,
+                head: 3,
+                k: vec![0.5, -1.25, 3.0e-8],
+                v: vec![0.0, -0.0, 1.0],
+            },
+            AttInst::DeclareKv { request: 0, head: 3, tokens: 512 },
+            AttInst::LoadQ { request: 0, head: 3, q: vec![1.5, f32::MIN_POSITIVE] },
+            AttInst::RunAttention { request: 0, head: 3 },
+            AttInst::RunAttentionBatch { request: 0, head0: 0, n_heads: 96 },
+            AttInst::ReadOutput { request: 0, head: 3 },
+            AttInst::EvictKv { request: 0, head: 3, keep_last: 256 },
+            AttInst::ConfigPages { tokens_per_page: 64 },
+            AttInst::MapPage { request: 0, head: 3, page: 7 },
+            AttInst::UnmapPage { request: 0, head: 3, page: 7 },
+            AttInst::Barrier { tag: 1 },
+            AttInst::UpdateRequest { request: 0, remove: true },
+        ]
+    }
+
+    #[test]
+    fn every_opcode_round_trips() {
+        let trace = Trace { insts: all_instructions() };
+        let text = trace.to_text();
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_text(), text, "format∘parse must be the identity");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\nbarrier tag=0\n  # indented comment\nrun req=1 head=2\n";
+        let t: Trace = text.parse().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.insts[1], AttInst::RunAttention { request: 1, head: 2 });
+    }
+
+    #[test]
+    fn shortest_float_notation_preserves_bits() {
+        let vals = [0.1f32, -0.0, 1.0 / 3.0, f32::MAX, f32::MIN_POSITIVE, 2.5e-38];
+        let inst = AttInst::LoadQ { request: 0, head: 0, q: vals.to_vec() };
+        let back = parse_inst(&inst.to_string()).unwrap();
+        let AttInst::LoadQ { q, .. } = back else { panic!("wrong opcode") };
+        for (a, b) in vals.iter().zip(&q) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let bad = [
+            "warp req=0",                         // unknown opcode
+            "run req=0",                          // missing field
+            "run head=0 req=0",                   // wrong field order
+            "run req=0 head=0 extra=1",           // trailing field
+            "run req=-1 head=0",                  // bad integer
+            "load_q req=0 head=0 q=1.0,NaN",      // non-finite float
+            "load_q req=0 head=0 q=inf",          // non-finite float
+            "load_q req=0 head=0 q=1.0,,2.0",     // empty element
+            "barrier 7",                          // missing key=
+        ];
+        for line in bad {
+            assert!(parse_inst(line).is_err(), "accepted {line:?}");
+        }
+    }
+
+    #[test]
+    fn parse_error_points_at_the_line() {
+        let err = Trace::parse("barrier tag=0\nbogus op\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_vectors_round_trip() {
+        let inst = AttInst::LoadQ { request: 1, head: 0, q: vec![] };
+        assert_eq!(parse_inst(&inst.to_string()).unwrap(), inst);
+    }
+}

@@ -1,0 +1,55 @@
+//! Trace-driven execution for the AttAcc ISA.
+//!
+//! The AttAcc paper (§5.2) programs the device through a host-offload
+//! instruction set; this crate makes that ISA the *interface to the
+//! simulator itself*, in the mold of trace-driven frameworks like
+//! PIMSIM-NN: workloads are instruction traces — data, not code — so a
+//! new attention variant is a new trace, not a new simulator fork.
+//!
+//! Three pieces:
+//!
+//! * **Codec** ([`Trace`], [`parse_inst`]) — a compact one-line-per-
+//!   instruction text format that round-trips byte-exactly through
+//!   `AttInst`'s stable `Display`.
+//! * **Compiler** ([`compile`], [`DecodeSchedule`], [`KvPolicy`]) —
+//!   lowers an `attacc-model` transformer graph plus a decode schedule
+//!   into a trace, with full, sliding-window, or paged (blocked) KV
+//!   residency lowered to eviction/paging instructions.
+//! * **Executors** — [`replay`] drives the functional
+//!   [`attacc_pim::AttAccController`] (real vectors, bit-for-bit
+//!   comparable to the direct attention path); [`execute_timing`]
+//!   drives the `attacc-hbm` command engine via
+//!   [`attacc_pim::timing_exec::execute_head`] and attributes
+//!   time/energy per instruction in a [`TraceReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use attacc_trace::{compile, execute_timing, DecodeSchedule, KvPolicy,
+//!                    TimingConfig, Trace, TracePayload};
+//! use attacc_model::ModelConfig;
+//!
+//! let sched = DecodeSchedule::uniform(2, 128, 4, KvPolicy::Full, TracePayload::Timing);
+//! let trace = compile(&ModelConfig::gpt3_175b(), &sched);
+//! // The text form round-trips exactly.
+//! let again = Trace::parse(&trace.to_text()).unwrap();
+//! assert_eq!(again, trace);
+//! let report = execute_timing(&TimingConfig::paper(), &trace).unwrap();
+//! assert_eq!(report.heads_run, 2 * 4 * 96);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod compiler;
+pub mod exec;
+pub mod timing;
+
+pub use codec::{parse_inst, Trace, TraceParseError};
+pub use compiler::{
+    compile, kv_pair, paged_resident, q_vector, DecodeSchedule, KvPolicy, RequestPlan,
+    TracePayload,
+};
+pub use exec::{replay, ReplayOutcome};
+pub use timing::{execute_timing, head_cost, HeadCost, OpcodeCost, TimingConfig, TraceReport};

@@ -1,0 +1,503 @@
+//! Timing trace replay on the `attacc-hbm` command engine.
+//!
+//! The timing executor interprets the same instruction stream as the
+//! functional controller but carries no data — only per-head KV lengths,
+//! the paging state, and the window left by evictions. Every attention
+//! launch lowers to [`execute_head`] on the event-driven engine (one
+//! [`HeadJob`] per head over the *visible* context), so trace-driven
+//! timing is the engine's ground truth by construction, not a parallel
+//! model. Costs are attributed per instruction:
+//!
+//! * `run`/`run_batch` — the attention kernel: engine stream time for
+//!   both GEMV halves, pipelined softmax occupancy, and the per-head
+//!   overhead (command issue, Q broadcast, output drain). Energy adds
+//!   the stream, the three-stage softmax, score movement over the TSVs,
+//!   and the Q-in/context-out external transfers — term-for-term the
+//!   model of [`attacc_pim::attention::attention_energy_j`].
+//! * `append`/`declare_kv` — KV ingest over the external interface:
+//!   bytes / external bandwidth, external-depth streaming energy.
+//! * `load_q`/`read` — zero-cost markers: their traffic is already
+//!   charged by the launch (see above), so pricing them again would
+//!   double-count; they remain in the per-opcode table as counts.
+//! * `evict_kv`/`config_pages`/`map_page`/`unmap_page`/`barrier` —
+//!   bookkeeping, counted but free.
+//!
+//! Heads execute serially on one stack in trace order; distinct visible
+//! lengths are memoized (the engine is deterministic, so a memoized
+//! head is bit-identical to a re-simulated one).
+
+use crate::Trace;
+use attacc_hbm::{AccessDepth, HbmConfig};
+use attacc_pim::timing_exec::execute_head;
+use attacc_pim::{AttInst, GemvPlacement, HeadJob, HeadTrace, InstError, SoftmaxUnit};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Hardware configuration the timing executor replays against.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// The HBM stack (geometry, timing, energy).
+    pub hbm: HbmConfig,
+    /// GEMV-unit placement (bank-level in the paper's design point).
+    pub placement: GemvPlacement,
+    /// The buffer-die softmax unit.
+    pub softmax: SoftmaxUnit,
+    /// Bytes per KV element as stored in DRAM (2 = FP16).
+    pub kv_dtype_bytes: u64,
+}
+
+impl TimingConfig {
+    /// The paper's design point: HBM3 8-high, bank-level GEMV units,
+    /// FP16 KV.
+    #[must_use]
+    pub fn paper() -> TimingConfig {
+        TimingConfig {
+            hbm: HbmConfig::hbm3_8hi(),
+            placement: GemvPlacement::Bank,
+            softmax: SoftmaxUnit::new(),
+            kv_dtype_bytes: 2,
+        }
+    }
+}
+
+/// Cost of one attention head over a visible context of `l` tokens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadCost {
+    /// Serial head time (score + softmax + context + overhead).
+    pub time_s: f64,
+    /// Head energy (stream + softmax + TSV scores + external Q/out).
+    pub energy_j: f64,
+    /// The engine-level trace behind the numbers.
+    pub trace: HeadTrace,
+}
+
+/// Prices one head on the command engine: the single source of truth
+/// shared by the trace executor and the direct (non-trace) path, so the
+/// two agree bit-for-bit when they schedule the same heads.
+#[must_use]
+pub fn head_cost(cfg: &TimingConfig, l: u64, d_head: u64) -> HeadCost {
+    let job = HeadJob::new(l, d_head, cfg.kv_dtype_bytes);
+    let trace = execute_head(&cfg.hbm, cfg.placement, &cfg.softmax, job);
+    let ext_pj_bit = cfg.hbm.energy.streaming_pj_per_bit(AccessDepth::External, false);
+    let host_bytes = 2 * d_head * cfg.kv_dtype_bytes; // Q in, context out
+    let score_bytes = 2 * l * 4; // FP32 scores to and from the softmax unit
+    let energy_j = trace.energy_j
+        + cfg.softmax.energy_pj(l) * 1e-12
+        + score_bytes as f64 * 8.0 * cfg.hbm.energy.tsv_pj_per_bit * 1e-12
+        + host_bytes as f64 * 8.0 * ext_pj_bit * 1e-12;
+    HeadCost {
+        time_s: trace.serial_s(),
+        energy_j,
+        trace,
+    }
+}
+
+/// Per-opcode attribution entry of a [`TraceReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpcodeCost {
+    /// Instructions of this opcode executed.
+    pub count: u64,
+    /// Time attributed (seconds).
+    pub time_s: f64,
+    /// Energy attributed (joules).
+    pub energy_j: f64,
+}
+
+/// Time/energy attribution of one timing replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Instructions executed.
+    pub instructions: usize,
+    /// Attention heads launched.
+    pub heads_run: u64,
+    /// Engine stream time of all score GEMVs (s).
+    pub score_s: f64,
+    /// Softmax occupancy of all heads (s).
+    pub softmax_s: f64,
+    /// Engine stream time of all context GEMVs (s).
+    pub context_s: f64,
+    /// Total attention kernel time including per-head overhead (s).
+    pub attention_s: f64,
+    /// KV-ingest time over the external interface (s).
+    pub host_s: f64,
+    /// KV bytes shipped over the external interface.
+    pub host_bytes: u64,
+    /// Total energy (J).
+    pub energy_j: f64,
+    /// MAC (column) commands issued across all launches.
+    pub mac_commands: u64,
+    /// Row activations issued across all launches.
+    pub activates: u64,
+    /// Barriers crossed (xPU↔PIM handoffs).
+    pub barriers: u64,
+    /// Per-opcode attribution, sorted by opcode mnemonic.
+    pub per_opcode: Vec<(&'static str, OpcodeCost)>,
+}
+
+impl TraceReport {
+    /// End-to-end replay time: attention kernels plus host KV ingest.
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.attention_s + self.host_s
+    }
+}
+
+#[derive(Default)]
+struct DeviceState {
+    n_head: u32,
+    d_head: u64,
+    configured: bool,
+    requests: HashSet<u64>,
+    /// Resident KV length per (request, head).
+    lens: HashMap<(u64, u32), u64>,
+    tokens_per_page: Option<u64>,
+    mapped: HashMap<(u64, u32), BTreeSet<u64>>,
+}
+
+impl DeviceState {
+    fn check(&self, request: u64, head: u32) -> Result<(), InstError> {
+        if !self.configured {
+            return Err(InstError::NotConfigured);
+        }
+        if !self.requests.contains(&request) {
+            return Err(InstError::UnknownRequest(request));
+        }
+        if head >= self.n_head {
+            return Err(InstError::UnknownHead(head));
+        }
+        Ok(())
+    }
+
+    /// Tokens an attention launch over this head actually streams.
+    fn visible_len(&self, request: u64, head: u32) -> u64 {
+        let len = self.lens.get(&(request, head)).copied().unwrap_or(0);
+        match self.tokens_per_page {
+            None => len,
+            Some(tpp) => {
+                let Some(pages) = self.mapped.get(&(request, head)) else { return 0 };
+                pages
+                    .iter()
+                    .filter(|&&p| p * tpp < len)
+                    .map(|&p| (len - p * tpp).min(tpp))
+                    .sum()
+            }
+        }
+    }
+}
+
+/// Replays a trace on the command engine, returning the attribution
+/// report.
+///
+/// # Errors
+/// Returns the failure wrapped with the zero-based instruction index
+/// ([`InstError::Trace`]), exactly as functional replay does.
+pub fn execute_timing(cfg: &TimingConfig, trace: &Trace) -> Result<TraceReport, InstError> {
+    let mut state = DeviceState::default();
+    let mut memo: HashMap<u64, HeadCost> = HashMap::new();
+    let mut per_opcode: BTreeMap<&'static str, OpcodeCost> = BTreeMap::new();
+
+    let mut report = TraceReport {
+        instructions: 0,
+        heads_run: 0,
+        score_s: 0.0,
+        softmax_s: 0.0,
+        context_s: 0.0,
+        attention_s: 0.0,
+        host_s: 0.0,
+        host_bytes: 0,
+        energy_j: 0.0,
+        mac_commands: 0,
+        activates: 0,
+        barriers: 0,
+        per_opcode: Vec::new(),
+    };
+
+    let ext_bw = cfg.hbm.external_bandwidth_bytes_per_s();
+    let ext_pj_bit = cfg.hbm.energy.streaming_pj_per_bit(AccessDepth::External, false);
+
+    for (index, inst) in trace.insts.iter().enumerate() {
+        let mut time_s = 0.0;
+        let mut energy_j = 0.0;
+        let mut ingest = |bytes: u64, time_s: &mut f64, energy_j: &mut f64| {
+            *time_s += bytes as f64 / ext_bw;
+            *energy_j += bytes as f64 * 8.0 * ext_pj_bit * 1e-12;
+            report.host_s += bytes as f64 / ext_bw;
+            report.host_bytes += bytes;
+        };
+        let step = |state: &mut DeviceState, request: u64, head: u32, tokens: u64| {
+            *state.lens.entry((request, head)).or_insert(0) += tokens;
+        };
+        let run_one = |state: &DeviceState,
+                       memo: &mut HashMap<u64, HeadCost>,
+                       report: &mut TraceReport,
+                       request: u64,
+                       head: u32|
+         -> Result<(f64, f64), InstError> {
+            let len = state.lens.get(&(request, head)).copied().unwrap_or(0);
+            if len == 0 {
+                return Err(InstError::EmptyKv);
+            }
+            let l_eff = state.visible_len(request, head);
+            if l_eff == 0 {
+                return Err(InstError::NothingMapped);
+            }
+            let cost = *memo
+                .entry(l_eff)
+                .or_insert_with(|| head_cost(cfg, l_eff, state.d_head));
+            report.heads_run += 1;
+            report.score_s += cost.trace.score_s;
+            report.softmax_s += cost.trace.softmax_s;
+            report.context_s += cost.trace.context_s;
+            report.attention_s += cost.time_s;
+            report.mac_commands += cost.trace.mac_commands;
+            report.activates += cost.trace.activates;
+            Ok((cost.time_s, cost.energy_j))
+        };
+
+        match *inst {
+            AttInst::SetModel { n_head, d_head, .. } => {
+                state = DeviceState {
+                    n_head,
+                    d_head: d_head as u64,
+                    configured: true,
+                    ..DeviceState::default()
+                };
+                memo.clear();
+            }
+            AttInst::UpdateRequest { request, remove } => {
+                if !state.configured {
+                    return Err(InstError::NotConfigured.at_index(index));
+                }
+                if remove {
+                    if !state.requests.remove(&request) {
+                        return Err(InstError::UnknownRequest(request).at_index(index));
+                    }
+                    state.lens.retain(|&(r, _), _| r != request);
+                    state.mapped.retain(|&(r, _), _| r != request);
+                } else {
+                    state.requests.insert(request);
+                }
+            }
+            AttInst::AppendKv { request, head, .. } => {
+                state.check(request, head).map_err(|e| e.at_index(index))?;
+                step(&mut state, request, head, 1);
+                ingest(2 * state.d_head * cfg.kv_dtype_bytes, &mut time_s, &mut energy_j);
+            }
+            AttInst::DeclareKv { request, head, tokens } => {
+                state.check(request, head).map_err(|e| e.at_index(index))?;
+                step(&mut state, request, head, tokens);
+                ingest(
+                    tokens * 2 * state.d_head * cfg.kv_dtype_bytes,
+                    &mut time_s,
+                    &mut energy_j,
+                );
+            }
+            AttInst::LoadQ { request, head, .. } | AttInst::ReadOutput { request, head } => {
+                state.check(request, head).map_err(|e| e.at_index(index))?;
+            }
+            AttInst::RunAttention { request, head } => {
+                state.check(request, head).map_err(|e| e.at_index(index))?;
+                let (t, e) =
+                    run_one(&state, &mut memo, &mut report, request, head).map_err(|e| e.at_index(index))?;
+                time_s += t;
+                energy_j += e;
+            }
+            AttInst::RunAttentionBatch { request, head0, n_heads } => {
+                for head in head0..head0.saturating_add(n_heads) {
+                    state.check(request, head).map_err(|e| e.at_index(index))?;
+                    let (t, e) = run_one(&state, &mut memo, &mut report, request, head)
+                        .map_err(|e| e.at_index(index))?;
+                    time_s += t;
+                    energy_j += e;
+                }
+            }
+            AttInst::EvictKv { request, head, keep_last } => {
+                state.check(request, head).map_err(|e| e.at_index(index))?;
+                let len = state.lens.entry((request, head)).or_insert(0);
+                *len = (*len).min(keep_last);
+            }
+            AttInst::ConfigPages { tokens_per_page } => {
+                if !state.configured {
+                    return Err(InstError::NotConfigured.at_index(index));
+                }
+                state.tokens_per_page = Some(tokens_per_page.max(1));
+            }
+            AttInst::MapPage { request, head, page } => {
+                if state.tokens_per_page.is_none() {
+                    return Err(InstError::PagingNotConfigured.at_index(index));
+                }
+                state.check(request, head).map_err(|e| e.at_index(index))?;
+                state.mapped.entry((request, head)).or_default().insert(page);
+            }
+            AttInst::UnmapPage { request, head, page } => {
+                if state.tokens_per_page.is_none() {
+                    return Err(InstError::PagingNotConfigured.at_index(index));
+                }
+                state.check(request, head).map_err(|e| e.at_index(index))?;
+                let removed = state
+                    .mapped
+                    .get_mut(&(request, head))
+                    .is_some_and(|pages| pages.remove(&page));
+                if !removed {
+                    return Err(InstError::PageNotMapped(page).at_index(index));
+                }
+            }
+            AttInst::Barrier { .. } => {
+                report.barriers += 1;
+            }
+        }
+
+        report.energy_j += energy_j;
+        report.instructions += 1;
+        let entry = per_opcode.entry(inst.opcode()).or_default();
+        entry.count += 1;
+        entry.time_s += time_s;
+        entry.energy_j += energy_j;
+    }
+
+    report.per_opcode = per_opcode.into_iter().collect();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, DecodeSchedule, KvPolicy, TracePayload};
+    use attacc_model::{DataType, ModelConfig};
+
+    fn tiny() -> ModelConfig {
+        ModelConfig::builder("tiny")
+            .decoders(2)
+            .embedding(256)
+            .heads(2)
+            .feedforward(512)
+            .vocab(100)
+            .max_seq_len(4096)
+            .dtype(DataType::Fp16)
+            .build()
+            .unwrap()
+    }
+
+    fn timing_trace(policy: KvPolicy) -> Trace {
+        compile(
+            &tiny(),
+            &DecodeSchedule::uniform(2, 64, 4, policy, TracePayload::Timing),
+        )
+    }
+
+    #[test]
+    fn report_matches_direct_head_schedule() {
+        let cfg = TimingConfig::paper();
+        let trace = timing_trace(KvPolicy::Full);
+        let report = execute_timing(&cfg, &trace).unwrap();
+        // The direct path: same heads in the same order, priced by the
+        // same engine helper. Bit-exact, not approximately equal.
+        let mut want_attention = 0.0f64;
+        let mut heads = 0u64;
+        for step in 0..4u64 {
+            for _request in 0..2 {
+                for _head in 0..2 {
+                    let cost = head_cost(&cfg, 64 + step + 1, 128);
+                    want_attention += cost.time_s;
+                    heads += 1;
+                }
+            }
+        }
+        assert_eq!(report.heads_run, heads);
+        assert_eq!(report.attention_s.to_bits(), want_attention.to_bits());
+        assert!(report.host_s > 0.0 && report.energy_j > 0.0);
+        assert_eq!(report.barriers, 5);
+        assert_eq!(report.instructions, trace.len());
+    }
+
+    /// Context lengths long enough to straddle the engine's work
+    /// quantum: bank-level parallelism prices every l ≤ 128 identically
+    /// (one MAC row per bank), so short-context policies only show up in
+    /// the clock once the full path exceeds that granule.
+    fn long_trace(policy: KvPolicy) -> Trace {
+        compile(
+            &tiny(),
+            &DecodeSchedule::uniform(2, 1024, 4, policy, TracePayload::Timing),
+        )
+    }
+
+    #[test]
+    fn sliding_window_caps_streamed_context() {
+        let cfg = TimingConfig::paper();
+        let full = execute_timing(&cfg, &long_trace(KvPolicy::Full)).unwrap();
+        let windowed = execute_timing(
+            &cfg,
+            &long_trace(KvPolicy::SlidingWindow { window: 128 }),
+        )
+        .unwrap();
+        assert!(windowed.attention_s < full.attention_s);
+        assert_eq!(windowed.heads_run, full.heads_run);
+        // Every windowed launch sees exactly `window` tokens: evictions
+        // run before the launch in each decode step.
+        let per_head = head_cost(&cfg, 128, 128).time_s;
+        let want = per_head * windowed.heads_run as f64;
+        assert!((windowed.attention_s - want).abs() < 1e-18);
+    }
+
+    #[test]
+    fn paged_kv_streams_only_mapped_pages() {
+        let cfg = TimingConfig::paper();
+        let full = execute_timing(&cfg, &long_trace(KvPolicy::Full)).unwrap();
+        let paged = execute_timing(
+            &cfg,
+            &long_trace(KvPolicy::Paged { tokens_per_page: 128, recent_pages: 1 }),
+        )
+        .unwrap();
+        assert!(paged.attention_s < full.attention_s);
+        // Sink page + one recent page: ≤ 256 visible tokens per head.
+        let max_cost = head_cost(&cfg, 256, 128).time_s;
+        assert!(paged.attention_s <= max_cost * paged.heads_run as f64 + 1e-12);
+    }
+
+    #[test]
+    fn per_opcode_attribution_sums_to_totals() {
+        let cfg = TimingConfig::paper();
+        let report = execute_timing(&cfg, &timing_trace(KvPolicy::Full)).unwrap();
+        let time: f64 = report.per_opcode.iter().map(|(_, c)| c.time_s).sum();
+        let energy: f64 = report.per_opcode.iter().map(|(_, c)| c.energy_j).sum();
+        let count: u64 = report.per_opcode.iter().map(|(_, c)| c.count).sum();
+        assert_eq!(count as usize, report.instructions);
+        assert!((time - report.total_s()).abs() < 1e-12 * time.max(1.0));
+        assert!((energy - report.energy_j).abs() < 1e-12 * energy.max(1.0));
+        let opcodes: Vec<&str> = report.per_opcode.iter().map(|(o, _)| *o).collect();
+        let mut sorted = opcodes.clone();
+        sorted.sort_unstable();
+        assert_eq!(opcodes, sorted, "attribution is ordered by opcode");
+    }
+
+    #[test]
+    fn errors_carry_the_instruction_index() {
+        let cfg = TimingConfig::paper();
+        let trace = Trace {
+            insts: vec![
+                AttInst::SetModel { n_head: 2, d_head: 128, max_l: 64 },
+                AttInst::UpdateRequest { request: 0, remove: false },
+                AttInst::RunAttention { request: 0, head: 0 },
+            ],
+        };
+        let err = execute_timing(&cfg, &trace).unwrap_err();
+        assert_eq!(err, InstError::EmptyKv.at_index(2));
+        let bad_head = Trace {
+            insts: vec![
+                AttInst::SetModel { n_head: 2, d_head: 128, max_l: 64 },
+                AttInst::UpdateRequest { request: 0, remove: false },
+                AttInst::DeclareKv { request: 0, head: 9, tokens: 4 },
+            ],
+        };
+        let err = execute_timing(&cfg, &bad_head).unwrap_err();
+        assert_eq!(err, InstError::UnknownHead(9).at_index(2));
+    }
+
+    #[test]
+    fn memoized_heads_match_fresh_simulation() {
+        let cfg = TimingConfig::paper();
+        let a = head_cost(&cfg, 777, 128);
+        let b = head_cost(&cfg, 777, 128);
+        assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`sim`] | `attacc-sim` | Platforms, executors, per-figure drivers |
 //! | [`cluster`] | `attacc-cluster` | Multi-node discrete-event serving simulator |
 //! | [`chaos`] | `attacc-chaos` | Fault injection + resilience policies over the cluster |
+//! | [`trace`] | `attacc-trace` | AttAcc ISA traces: codec, graph-to-trace compiler, replay |
 //!
 //! # Quickstart
 //!
@@ -44,4 +45,5 @@ pub use attacc_model as model;
 pub use attacc_pim as pim;
 pub use attacc_serving as serving;
 pub use attacc_sim as sim;
+pub use attacc_trace as trace;
 pub use attacc_xpu as xpu;

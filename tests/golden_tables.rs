@@ -166,6 +166,22 @@ fn golden_autoscale() {
 }
 
 #[test]
+fn golden_trace() {
+    // Pins the graph-to-trace compiler (instruction counts, policy
+    // maintenance) and the timing executor's attribution down to the
+    // rendered digits, for the paper workloads and both new trace-only
+    // workloads (sliding window, paged KV).
+    check(
+        "trace",
+        &[
+            attacc_bench::trace_paper_table(),
+            attacc_bench::trace_workloads_table(),
+            attacc_bench::trace_opcode_table(),
+        ],
+    );
+}
+
+#[test]
 fn golden_integrity() {
     // Smaller than the binary's INTEGRITY_REQUESTS: the snapshot pins
     // token-fate sampling, the analytic SDC/DUE ladder and the ECC
