@@ -1,22 +1,21 @@
-//! Prints the AttAcc provisioning frontier for GPT-3 under a 50 ms SLO.
-use attacc_sim::provision::provision_sweep;
-use attacc_sim::Table;
+//! Answers "cheapest fleet for N users at SLO X": the surrogate-pruned
+//! heterogeneous-mix TCO search, plus the cost book it bills with and
+//! the original stacks frontier.
+//!
+//! `--users N` overrides the session count (default
+//! [`attacc_bench::PROVISION_USERS`]).
 
 fn main() {
-    attacc_bench::harness::run_one("provision", || {
-        let model = attacc_model::ModelConfig::gpt3_175b();
-        let mut t = Table::new(
-            "Provisioning frontier: AttAcc stacks vs throughput (GPT-3 175B, 50 ms SLO, Lin/Lout = 2048)",
-            &["stacks", "batch", "tokens/s", "Pareto"],
-        );
-        for p in provision_sweep(&model, 2048, 2048, 0.050, &[8, 16, 24, 32, 40, 56, 80]) {
-            t.push_row(vec![
-                p.stacks.to_string(),
-                p.batch.to_string(),
-                Table::num(p.tokens_per_s),
-                if p.efficient { "*".into() } else { String::new() },
-            ]);
-        }
-        t
+    let users = std::env::args()
+        .skip_while(|a| a != "--users")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(attacc_bench::PROVISION_USERS);
+    attacc_bench::harness::run("provision", || {
+        vec![
+            attacc_bench::provision_cost_book_table(),
+            attacc_bench::provision_stacks_table(),
+            attacc_bench::provision_frontier(users),
+        ]
     });
 }

@@ -29,6 +29,10 @@ use attacc_sim::experiment::{
 use attacc_serving::{
     ArrivalWorkload, FlashCrowd, RetryPolicy, SchedulerConfig, StageExecutor, TraceSpec,
 };
+use attacc_provision::{
+    enumerate_specs, run_search, CostBook, FleetSpec, NodeVariant, SearchConfig, SearchOutcome,
+    TrafficSpec,
+};
 use attacc_sim::validate::validate_opt66b;
 use attacc_sim::{SweepRunner, System, SystemExecutor, Table};
 use attacc_trace::{
@@ -1382,6 +1386,151 @@ pub fn trace_opcode_table() -> Table {
 pub fn int8_gpt3() -> ModelConfig {
     ModelConfig::gpt3_175b().with_dtype(DataType::Int8)
 }
+
+// ---------------------------------------------------------------------
+// Provisioning: heterogeneous-fleet TCO search (attacc-provision)
+// ---------------------------------------------------------------------
+
+/// The golden provisioning grid: every mix of up to 4 `dgx-base`, 3 of
+/// each AttAcc placement, and 3 CPU-offload nodes, at most 6 nodes
+/// total. Shared by the `provision` bin, the golden table and the
+/// search-equivalence tests so they all talk about the same design
+/// space.
+#[must_use]
+pub fn provision_specs() -> Vec<FleetSpec> {
+    enumerate_specs([4, 3, 3, 4, 3], 6)
+}
+
+/// The golden provisioning traffic point: `users` chatbot sessions at a
+/// fixed arrival rate and shape, seed 42.
+#[must_use]
+pub fn provision_traffic(users: u64) -> TrafficSpec {
+    TrafficSpec {
+        users,
+        rate_per_s: 6.0,
+        l_in: 512,
+        l_out: (64, 128),
+        seed: 42,
+    }
+}
+
+/// The golden search configuration: train on every 40th cell plus the
+/// homogeneous corners, verify the surrogate's top 3% across three
+/// refit rounds — ≥90% of the grid is never exactly simulated.
+#[must_use]
+pub fn provision_search_config() -> SearchConfig {
+    SearchConfig::default()
+}
+
+/// Runs the surrogate-pruned cheapest-fleet search on the golden grid.
+#[must_use]
+pub fn provision_outcome(users: u64) -> SearchOutcome {
+    let model = ModelConfig::gpt3_175b();
+    run_search(
+        &model,
+        &provision_specs(),
+        &provision_traffic(users),
+        SloSpec::chatbot(),
+        &CostBook::paper_defaults(),
+        &provision_search_config(),
+    )
+}
+
+/// Cheapest-fleet table: the surrogate-pruned search over the golden
+/// grid, its verified shortlist, and the surrogate's own error. The
+/// "cheapest fleet for N users at SLO X" answer is the `best` row.
+#[must_use]
+pub fn provision_frontier(users: u64) -> Table {
+    let outcome = provision_outcome(users);
+    let mut t = Table::new(
+        format!(
+            "Cheapest fleet: GPT-3 175B, {users} sessions at 6 req/s, chatbot SLO \
+             (grid {}, exact sims {}, pruned {:.1}%, surrogate MAE {:.2} $/Mtok)",
+            outcome.grid_size,
+            outcome.trained + outcome.verified,
+            outcome.pruned_frac * 100.0,
+            outcome.surrogate_mae_usd_per_mtok,
+        ),
+        &[
+            "rank",
+            "fleet",
+            "pred $/Mtok",
+            "exact $/Mtok",
+            "TTFT p99.9 (ms)",
+            "feasible",
+        ],
+    );
+    for (rank, p) in outcome.picks.iter().take(8).enumerate() {
+        t.push_row(vec![
+            (rank + 1).to_string(),
+            p.exact.spec.label(),
+            n(p.predicted_usd_per_mtok),
+            n(p.exact.cost.usd_per_mtok),
+            n(p.exact.report.cluster.ttft.p999_s * 1e3),
+            if p.exact.feasible { "yes".into() } else { "no".into() },
+        ]);
+    }
+    let best_label = outcome
+        .best
+        .as_ref()
+        .map_or("none feasible".to_string(), |(_, r)| {
+            format!("{} at {} $/Mtok", r.spec.label(), n(r.cost.usd_per_mtok))
+        });
+    t.push_row(vec![
+        "best".into(),
+        best_label,
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+/// Per-variant cost-book table: the dollars-and-watts ground the search
+/// stands on, derived from the power/area tables.
+#[must_use]
+pub fn provision_cost_book_table() -> Table {
+    let book = CostBook::paper_defaults();
+    let mut t = Table::new(
+        "CostBook: per-variant CapEx and wattage (derived from the power/area tables)",
+        &["variant", "CapEx ($)", "idle (W)", "peak (W)"],
+    );
+    for v in NodeVariant::ALL {
+        let c = book.node(v);
+        t.push_row(vec![
+            v.name().into(),
+            n(c.capex_usd),
+            n(c.idle_w),
+            n(c.peak_w),
+        ]);
+    }
+    t
+}
+
+/// The original stacks-vs-throughput provisioning frontier (kept from
+/// the pre-TCO `provision` bin).
+#[must_use]
+pub fn provision_stacks_table() -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let mut t = Table::new(
+        "Provisioning frontier: AttAcc stacks vs throughput (GPT-3 175B, 50 ms SLO, Lin/Lout = 2048)",
+        &["stacks", "batch", "tokens/s", "Pareto"],
+    );
+    for p in attacc_sim::provision::provision_sweep(&model, 2048, 2048, 0.050, &[8, 16, 24, 32, 40, 56, 80]) {
+        t.push_row(vec![
+            p.stacks.to_string(),
+            p.batch.to_string(),
+            n(p.tokens_per_s),
+            if p.efficient { "*".into() } else { String::new() },
+        ]);
+    }
+    t
+}
+
+/// Sessions per provisioning cell in the golden grid (small enough for
+/// CI to exhaustively re-verify, large enough to exercise queueing).
+pub const PROVISION_USERS: u64 = 48;
 
 #[cfg(test)]
 mod tests {

@@ -120,6 +120,75 @@ impl FleetConfig {
     }
 }
 
+/// Heterogeneity of one pool: per-node relative throughput and optional
+/// per-node scheduler limits. Node order is the executor order — the
+/// autoscaler activates nodes first-inactive-first and drains them
+/// last-active-first, so callers should list always-on variants before
+/// burst variants.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct PoolMix {
+    /// Relative decode-throughput weight per potential node (one entry
+    /// per `max_nodes`, or empty = homogeneous, all 1.0). Consumed by
+    /// [`RouterPolicy::WeightedLeastLoad`] and by the autoscaler, whose
+    /// per-node watermarks become per-*capacity-unit* watermarks.
+    pub weights: Vec<f64>,
+    /// Per-node scheduler limits (batch cap, KV capacity) overriding the
+    /// shared [`FleetConfig::scheduler`] (one entry per `max_nodes`, or
+    /// empty = shared). `kv_bytes_per_token` is a model property and must
+    /// match the shared scheduler's on every entry.
+    pub schedulers: Vec<SchedulerConfig>,
+}
+
+impl PoolMix {
+    /// Checks lengths against the pool bounds and weight sanity.
+    ///
+    /// # Panics
+    /// Panics when a length or weight is inconsistent.
+    fn validate(&self, pool: &str, max_nodes: usize, shared: &SchedulerConfig) {
+        assert!(
+            self.weights.is_empty() || self.weights.len() == max_nodes,
+            "{pool} mix needs one weight per potential node ({max_nodes}), got {}",
+            self.weights.len()
+        );
+        for (i, &w) in self.weights.iter().enumerate() {
+            assert!(w.is_finite() && w > 0.0, "{pool} node {i} weight must be positive, got {w}");
+        }
+        assert!(
+            self.schedulers.is_empty() || self.schedulers.len() == max_nodes,
+            "{pool} mix needs one scheduler per potential node ({max_nodes}), got {}",
+            self.schedulers.len()
+        );
+        for (i, s) in self.schedulers.iter().enumerate() {
+            assert_eq!(
+                s.kv_bytes_per_token, shared.kv_bytes_per_token,
+                "{pool} node {i}: kv_bytes_per_token is a model property and must match \
+                 the shared scheduler"
+            );
+        }
+    }
+}
+
+/// Heterogeneous fleet composition: a [`PoolMix`] per pool. The default
+/// ([`FleetMix::uniform`]) is byte-identical to [`simulate_fleet`]
+/// without a mix.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FleetMix {
+    /// Prefill-pool heterogeneity (ignored for monolithic fleets).
+    pub prefill: PoolMix,
+    /// Decode-pool heterogeneity.
+    pub decode: PoolMix,
+}
+
+impl FleetMix {
+    /// The homogeneous mix: unit weights, shared scheduler.
+    #[must_use]
+    pub fn uniform() -> FleetMix {
+        FleetMix::default()
+    }
+}
+
 /// Outcome of a fleet simulation: the cluster-shaped report plus the
 /// fleet-level accounting the frontier tables need.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,6 +203,21 @@ pub struct FleetReport {
     /// activation), cold-start time included — booting capacity is paid
     /// capacity. The cost axis of the autoscaling frontier.
     pub node_seconds: f64,
+    /// Per global node index: that node's share of [`node_seconds`]
+    /// (activation periods summed, cold start included). The cost layer
+    /// bills CapEx amortization and idle wattage per node from this,
+    /// which is what makes heterogeneous-fleet $ attribution possible.
+    ///
+    /// [`node_seconds`]: FleetReport::node_seconds
+    pub node_active_s: Vec<f64>,
+    /// Node-seconds spent inside cold-start spin-up windows (scale-out
+    /// instant → warm). Already included in [`node_seconds`] and
+    /// [`node_active_s`]; broken out so the cost layer can show that
+    /// spin-up is billed at idle wattage, not zero.
+    ///
+    /// [`node_seconds`]: FleetReport::node_seconds
+    /// [`node_active_s`]: FleetReport::node_active_s
+    pub cold_start_node_s: f64,
     /// Peak active prefill-pool size (0 for monolithic fleets).
     pub prefill_peak_nodes: usize,
     /// Peak active decode-pool size.
@@ -164,13 +248,20 @@ struct Pool {
     /// Activation time of each currently active node (for node-second
     /// billing), `None` when inactive.
     active_since: Vec<Option<f64>>,
+    /// Relative throughput weight per pool-local node (all 1.0 for a
+    /// homogeneous pool).
+    weights: Vec<f64>,
+    /// Per-node KV capacities when the pool's mix overrides the shared
+    /// scheduler; `None` keeps the homogeneous capacity formula (and its
+    /// exact float-op order).
+    kv_caps: Option<Vec<u64>>,
     /// Requests routed to this pool since the last scale tick.
     arrivals_since_tick: u64,
     peak_active: usize,
 }
 
 impl Pool {
-    fn new(kind: PoolKind, base: usize, cfg: PoolConfig) -> Pool {
+    fn new(kind: PoolKind, base: usize, cfg: PoolConfig, mix: &PoolMix) -> Pool {
         Pool {
             kind,
             base,
@@ -181,6 +272,16 @@ impl Pool {
             active_since: (0..cfg.max_nodes)
                 .map(|i| if i < cfg.initial_nodes { Some(0.0) } else { None })
                 .collect(),
+            weights: if mix.weights.is_empty() {
+                vec![1.0; cfg.max_nodes]
+            } else {
+                mix.weights.clone()
+            },
+            kv_caps: if mix.schedulers.is_empty() {
+                None
+            } else {
+                Some(mix.schedulers.iter().map(|s| s.kv_capacity_bytes).collect())
+            },
             arrivals_since_tick: 0,
             peak_active: cfg.initial_nodes,
         }
@@ -188,6 +289,15 @@ impl Pool {
 
     fn active_count(&self) -> usize {
         self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Summed throughput weight of the active nodes.
+    fn active_weight(&self) -> f64 {
+        self.active
+            .iter()
+            .zip(&self.weights)
+            .filter_map(|(&a, &w)| a.then_some(w))
+            .sum()
     }
 }
 
@@ -213,9 +323,34 @@ pub fn simulate_fleet(
     workload: &ArrivalWorkload,
     cfg: &FleetConfig,
 ) -> FleetReport {
+    simulate_fleet_mix(prefill_nodes, decode_nodes, &FleetMix::uniform(), workload, cfg)
+}
+
+/// [`simulate_fleet`] over a heterogeneous [`FleetMix`]: each node may be
+/// a different `SystemKind` (the caller passes the matching executor),
+/// carry its own scheduler limits, and advertise its relative throughput
+/// to the router ([`RouterPolicy::WeightedLeastLoad`]) and the
+/// autoscaler (per-capacity-unit watermarks, capacity-weighted KV
+/// occupancy). With [`FleetMix::uniform`] this is byte-identical to
+/// [`simulate_fleet`].
+///
+/// # Panics
+/// Panics if the executor slices or mix vectors do not match the pool
+/// bounds, the pool bounds are inconsistent, or a scheduler's
+/// `max_batch` is zero.
+#[must_use]
+pub fn simulate_fleet_mix(
+    prefill_nodes: &[&dyn StageExecutor],
+    decode_nodes: &[&dyn StageExecutor],
+    mix: &FleetMix,
+    workload: &ArrivalWorkload,
+    cfg: &FleetConfig,
+) -> FleetReport {
     cfg.decode.validate("decode");
+    mix.decode.validate("decode", cfg.decode.max_nodes, &cfg.scheduler);
     if let Some(p) = &cfg.prefill {
         p.validate("prefill");
+        mix.prefill.validate("prefill", p.max_nodes, &cfg.scheduler);
         assert_eq!(
             prefill_nodes.len(),
             p.max_nodes,
@@ -232,10 +367,16 @@ pub fn simulate_fleet(
 
     let p_max = cfg.prefill.map_or(0, |p| p.max_nodes);
     let n = p_max + cfg.decode.max_nodes;
+    let sched_of = |mix_pool: &PoolMix, i: usize| {
+        mix_pool.schedulers.get(i).copied().unwrap_or(cfg.scheduler)
+    };
     let mut engines: Vec<NodeEngine> = prefill_nodes
         .iter()
-        .map(|e| NodeEngine::with_role(*e, cfg.scheduler, NodeRole::Prefill))
-        .chain(decode_nodes.iter().map(|e| NodeEngine::with_role(*e, cfg.scheduler, NodeRole::Monolithic)))
+        .enumerate()
+        .map(|(i, e)| NodeEngine::with_role(*e, sched_of(&mix.prefill, i), NodeRole::Prefill))
+        .chain(decode_nodes.iter().enumerate().map(|(i, e)| {
+            NodeEngine::with_role(*e, sched_of(&mix.decode, i), NodeRole::Monolithic)
+        }))
         .collect();
     let stride = kv_stride_for(workload.arrivals.len());
     let hint = workload.arrivals.len() / n + 1;
@@ -245,11 +386,11 @@ pub fn simulate_fleet(
     }
 
     let mut prefill_pool = cfg.prefill.map(|p| {
-        let mut pool = Pool::new(PoolKind::Prefill, 0, p);
+        let mut pool = Pool::new(PoolKind::Prefill, 0, p, &mix.prefill);
         pool.router = Router::new(cfg.policy);
         pool
     });
-    let mut decode_pool = Pool::new(PoolKind::Decode, p_max, cfg.decode);
+    let mut decode_pool = Pool::new(PoolKind::Decode, p_max, cfg.decode, &mix.decode);
     decode_pool.router = Router::new(cfg.policy);
     let mut autoscaler = cfg.autoscaler.map(Autoscaler::new);
 
@@ -273,6 +414,8 @@ pub fn simulate_fleet(
     let mut handoffs: Vec<(f64, f64, Request)> = Vec::new();
     let mut scale_events: Vec<ScaleEvent> = Vec::new();
     let mut node_seconds = 0.0f64;
+    let mut node_active_s = vec![0.0f64; n];
+    let mut cold_start_node_s = 0.0f64;
     let mut kv_ships = 0u64;
     let mut kv_shipped_bytes = 0u64;
     let mut makespan = 0.0f64;
@@ -301,7 +444,7 @@ pub fn simulate_fleet(
         }));
         eligible.clear();
         eligible.extend((0..k).map(|i| pool.active[i] && pool.warm_at[i] <= t));
-        let decision = pool.router.route_among(id, loads, eligible);
+        let decision = pool.router.route_weighted(id, loads, eligible, &pool.weights);
         let g = base + decision.node;
         // The cold-start contract: a node never sees work before its
         // warm-up completes. The eligibility mask enforces it; this
@@ -445,11 +588,23 @@ pub fn simulate_fleet(
                     let kv_frac = if cfg.scheduler.kv_bytes_per_token == 0 || active_nodes == 0 {
                         0.0
                     } else {
-                        let cap = active_nodes as f64 * cfg.scheduler.kv_capacity_bytes as f64;
+                        // A heterogeneous pool sums its active nodes'
+                        // individual capacities; the homogeneous path
+                        // keeps the single-multiply formula so its float
+                        // rounding (and hence every downstream decision)
+                        // is unchanged.
+                        let cap = match &pool.kv_caps {
+                            Some(caps) => (0..k)
+                                .filter(|&i| pool.active[i])
+                                .map(|i| caps[i] as f64)
+                                .sum(),
+                            None => active_nodes as f64 * cfg.scheduler.kv_capacity_bytes as f64,
+                        };
                         (reserved as f64 * cfg.scheduler.kv_bytes_per_token as f64) / cap
                     };
                     let obs = PoolObservation {
                         active_nodes,
+                        active_weight: pool.active_weight(),
                         backlog,
                         kv_frac,
                         arrivals_since_tick: pool.arrivals_since_tick,
@@ -496,6 +651,12 @@ pub fn simulate_fleet(
                             pool.active[i] = false;
                             if let Some(since) = pool.active_since[i].take() {
                                 node_seconds += t - since;
+                                node_active_s[base + i] += t - since;
+                                // Time this activation spent spinning up
+                                // (warm_at > since iff the node was
+                                // scaled out with a cold start).
+                                cold_start_node_s +=
+                                    (pool.warm_at[i].min(t) - since).max(0.0);
                             }
                             scale_events.push(ScaleEvent {
                                 t_s: t,
@@ -529,8 +690,11 @@ pub fn simulate_fleet(
 
     // Close the node-second meter on everything still active.
     for pool in [prefill_pool.as_ref(), Some(&decode_pool)].into_iter().flatten() {
-        for since in pool.active_since.iter().flatten() {
+        for (i, since) in pool.active_since.iter().enumerate() {
+            let Some(since) = since else { continue };
             node_seconds += makespan - since;
+            node_active_s[pool.base + i] += makespan - since;
+            cold_start_node_s += (pool.warm_at[i].min(makespan) - since).max(0.0);
         }
     }
     let prefill_peak = prefill_pool.as_ref().map_or(0, |p| p.peak_active);
@@ -539,6 +703,8 @@ pub fn simulate_fleet(
         cluster,
         disaggregated: cfg.prefill.is_some(),
         node_seconds,
+        node_active_s,
+        cold_start_node_s,
         prefill_peak_nodes: prefill_peak,
         decode_peak_nodes: decode_pool.peak_active,
         kv_ships,
@@ -664,6 +830,158 @@ mod tests {
         let a = simulate_fleet(&nodes, &nodes, &w, &cfg);
         let b = simulate_fleet(&nodes, &nodes, &w, &cfg);
         assert_eq!(a, b);
+    }
+
+    /// A toy executor `speed`× faster than [`Toy`].
+    struct FastToy(f64);
+    impl StageExecutor for FastToy {
+        fn sum_stage(&self, b: u64, l: u64) -> StageCost {
+            let base = Toy.sum_stage(b, l);
+            StageCost { latency_s: base.latency_s / self.0, energy_j: base.energy_j }
+        }
+        fn gen_stage(&self, groups: &[(u64, u64)]) -> StageCost {
+            let base = Toy.gen_stage(groups);
+            StageCost { latency_s: base.latency_s / self.0, energy_j: base.energy_j }
+        }
+    }
+
+    #[test]
+    fn uniform_mix_is_bit_exact_with_simulate_fleet() {
+        let w = workload();
+        let cfg = FleetConfig {
+            prefill: Some(PoolConfig::elastic(1, 1, 3)),
+            decode: PoolConfig::elastic(1, 2, 3),
+            scheduler: SchedulerConfig::unlimited(8),
+            policy: RouterPolicy::JoinShortestQueue,
+            interconnect: InterconnectModel::ethernet_400g().with_kv_bytes_per_token(256),
+            slo: SloSpec::chatbot(),
+            autoscaler: Some(AutoscalerConfig::queue_depth(0.01)),
+        };
+        let nodes: [&dyn StageExecutor; 3] = [&Toy, &Toy, &Toy];
+        let plain = simulate_fleet(&nodes, &nodes, &w, &cfg);
+        let mixed = simulate_fleet_mix(&nodes, &nodes, &FleetMix::uniform(), &w, &cfg);
+        assert_eq!(plain, mixed);
+    }
+
+    #[test]
+    fn weighted_routing_loads_fast_nodes_proportionally() {
+        let w = ArrivalWorkload::poisson(200, 400.0, 64, (4, 12), 7);
+        let fast = FastToy(4.0);
+        let nodes: [&dyn StageExecutor; 2] = [&Toy, &fast];
+        let cfg = FleetConfig {
+            prefill: None,
+            decode: PoolConfig::fixed(2),
+            scheduler: SchedulerConfig::unlimited(8),
+            policy: RouterPolicy::WeightedLeastLoad,
+            interconnect: InterconnectModel::ideal(),
+            slo: SloSpec::chatbot(),
+            autoscaler: None,
+        };
+        let mix = FleetMix {
+            prefill: PoolMix::default(),
+            decode: PoolMix { weights: vec![1.0, 4.0], schedulers: vec![] },
+        };
+        let r = simulate_fleet_mix(&[], &nodes, &mix, &w, &cfg);
+        assert_eq!(r.cluster.completed, 200);
+        let slow_tokens = r.cluster.nodes[0].tokens as f64;
+        let fast_tokens = r.cluster.nodes[1].tokens as f64;
+        assert!(
+            fast_tokens > 2.0 * slow_tokens,
+            "4×-weighted node should absorb most of the work: {fast_tokens} vs {slow_tokens}"
+        );
+    }
+
+    #[test]
+    fn per_node_schedulers_cap_batch_independently() {
+        // Burst arrivals: everything lands before the first round ends, so
+        // the batch-8 node can actually batch while the batch-1 node can't.
+        let w = ArrivalWorkload::poisson(40, 50_000.0, 64, (4, 8), 11);
+        let nodes: [&dyn StageExecutor; 2] = [&Toy, &Toy];
+        let shared = SchedulerConfig::unlimited(8);
+        let cfg = FleetConfig {
+            prefill: None,
+            decode: PoolConfig::fixed(2),
+            scheduler: shared,
+            policy: RouterPolicy::RoundRobin,
+            interconnect: InterconnectModel::ideal(),
+            slo: SloSpec::chatbot(),
+            autoscaler: None,
+        };
+        let mix = FleetMix {
+            prefill: PoolMix::default(),
+            decode: PoolMix {
+                weights: vec![],
+                schedulers: vec![SchedulerConfig::unlimited(1), SchedulerConfig::unlimited(8)],
+            },
+        };
+        let r = simulate_fleet_mix(&[], &nodes, &mix, &w, &cfg);
+        assert_eq!(r.cluster.completed, 40);
+        // Node 0 serializes (batch 1): one gen round per token, so its
+        // fixed per-round cost dominates and it stays busy far longer
+        // than the batch-8 node despite an even request split.
+        assert!(r.cluster.nodes[0].busy_s > 2.0 * r.cluster.nodes[1].busy_s);
+    }
+
+    #[test]
+    fn node_active_seconds_sum_to_the_fleet_meter() {
+        let w = ArrivalWorkload::poisson(80, 2000.0, 64, (8, 16), 3);
+        let cfg = FleetConfig {
+            prefill: None,
+            decode: PoolConfig::elastic(1, 1, 4),
+            scheduler: SchedulerConfig::unlimited(4),
+            policy: RouterPolicy::JoinShortestQueue,
+            interconnect: InterconnectModel::ideal(),
+            slo: SloSpec::chatbot(),
+            autoscaler: Some(AutoscalerConfig::queue_depth(0.005)),
+        };
+        let r = simulate_fleet(&[], &[&Toy, &Toy, &Toy, &Toy], &w, &cfg);
+        let sum: f64 = r.node_active_s.iter().sum();
+        assert!((sum - r.node_seconds).abs() < 1e-9, "{sum} vs {}", r.node_seconds);
+        assert_eq!(r.node_active_s.len(), 4);
+    }
+
+    #[test]
+    fn cold_start_spin_up_is_metered_not_free() {
+        // Burst → scale-out with a 10 ms cold start: the spin-up windows
+        // must appear in the meter so the cost layer can bill them at
+        // idle wattage (the pre-fix behavior charged them zero joules).
+        let w = ArrivalWorkload::poisson(80, 2000.0, 64, (8, 16), 3);
+        let cfg = FleetConfig {
+            prefill: None,
+            decode: PoolConfig::elastic(1, 1, 4),
+            scheduler: SchedulerConfig::unlimited(4),
+            policy: RouterPolicy::JoinShortestQueue,
+            interconnect: InterconnectModel::ideal(),
+            slo: SloSpec::chatbot(),
+            autoscaler: Some(AutoscalerConfig::queue_depth(0.005)),
+        };
+        let r = simulate_fleet(&[], &[&Toy, &Toy, &Toy, &Toy], &w, &cfg);
+        let outs =
+            r.scale_events.iter().filter(|e| e.direction == ScaleDirection::Out).count() as f64;
+        assert!(outs > 0.0, "the burst must trigger scale-out");
+        let cold = AutoscalerConfig::queue_depth(0.005).cold_start_s;
+        assert!(
+            r.cold_start_node_s > 0.0 && r.cold_start_node_s <= outs * cold + 1e-12,
+            "spin-up meter {} vs {} scale-outs × {cold}s",
+            r.cold_start_node_s,
+            outs
+        );
+        // Spin-up is part of (not additional to) the node-second bill.
+        assert!(r.cold_start_node_s <= r.node_seconds);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn non_positive_mix_weights_are_rejected() {
+        let cfg = FleetConfig::monolithic(
+            &ClusterConfig::pass_through(SchedulerConfig::unlimited(4)),
+            2,
+        );
+        let mix = FleetMix {
+            prefill: PoolMix::default(),
+            decode: PoolMix { weights: vec![1.0, 0.0], schedulers: vec![] },
+        };
+        let _ = simulate_fleet_mix(&[], &[&Toy, &Toy], &mix, &workload(), &cfg);
     }
 
     #[test]

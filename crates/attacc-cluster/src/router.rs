@@ -34,6 +34,13 @@ pub enum RouterPolicy {
         /// the session spills.
         spill_backlog: u64,
     },
+    /// Throughput-normalized least load for heterogeneous pools: argmin
+    /// of `(backlog + 1) / weight` where `weight` is the node's relative
+    /// decode throughput (see [`Router::route_weighted`]). With unit
+    /// weights this ranks nodes exactly like
+    /// [`RouterPolicy::JoinShortestQueue`]; with a mixed fleet it sends a
+    /// 2×-faster node 2× the queue before considering it equally loaded.
+    WeightedLeastLoad,
 }
 
 impl RouterPolicy {
@@ -46,6 +53,7 @@ impl RouterPolicy {
             RouterPolicy::JoinShortestQueue => "join-shortest-queue",
             RouterPolicy::LeastKvBytes => "least-kv-bytes",
             RouterPolicy::SessionAffinity { .. } => "session-affinity",
+            RouterPolicy::WeightedLeastLoad => "weighted-least-load",
         }
     }
 }
@@ -152,8 +160,33 @@ impl Router {
     /// Panics if `loads` is empty, `eligible.len() != loads.len()`, or no
     /// node is eligible.
     pub fn route_among(&mut self, id: u64, loads: &[NodeLoad], eligible: &[bool]) -> RouteDecision {
+        self.route_weighted(id, loads, eligible, &[])
+    }
+
+    /// [`Router::route_among`] with per-node relative throughput
+    /// `weights` (empty = all nodes weigh 1.0). Only
+    /// [`RouterPolicy::WeightedLeastLoad`] consults the weights; every
+    /// other policy routes exactly as [`Router::route_among`], so passing
+    /// weights through a homogeneous pool is byte-identical to not
+    /// passing them.
+    ///
+    /// # Panics
+    /// Panics if `loads` is empty, `eligible.len() != loads.len()`,
+    /// `weights` is neither empty nor `loads.len()` long, or no node is
+    /// eligible.
+    pub fn route_weighted(
+        &mut self,
+        id: u64,
+        loads: &[NodeLoad],
+        eligible: &[bool],
+        weights: &[f64],
+    ) -> RouteDecision {
         assert!(!loads.is_empty(), "cluster needs at least one node");
         assert_eq!(eligible.len(), loads.len(), "one eligibility flag per node");
+        assert!(
+            weights.is_empty() || weights.len() == loads.len(),
+            "one throughput weight per node (or none)"
+        );
         let k = eligible.iter().filter(|&&e| e).count();
         assert!(k > 0, "at least one node must be eligible");
         let n = loads.len();
@@ -177,6 +210,28 @@ impl Router {
                 node: argmin_among(loads, eligible, |l| l.kv_tokens),
                 migrated: false,
             },
+            RouterPolicy::WeightedLeastLoad => {
+                // Lowest-index argmin of normalized queue length. The
+                // +1 counts the arrival being placed, so an idle slow
+                // node still loses to an idle fast node on weight alone.
+                let mut best: Option<(usize, f64)> = None;
+                for (i, load) in loads.iter().enumerate() {
+                    if !eligible[i] {
+                        continue;
+                    }
+                    let w = weights.get(i).copied().unwrap_or(1.0);
+                    let key = (load.backlog + 1) as f64 / w;
+                    match best {
+                        Some((_, b)) if key.total_cmp(&b) == std::cmp::Ordering::Less => {
+                            best = Some((i, key));
+                        }
+                        None => best = Some((i, key)),
+                        _ => {}
+                    }
+                }
+                let (node, _) = best.expect("at least one eligible node");
+                RouteDecision { node, migrated: false }
+            }
             RouterPolicy::SessionAffinity { spill_backlog } => {
                 let pick = usize::try_from(splitmix64(id) % k as u64).expect("node fits usize");
                 let home = (0..n)
@@ -307,6 +362,48 @@ mod tests {
         assert_eq!(r.route_among(7, &view, &mask).node, remapped);
         // Healthy again: the session returns to its original home.
         assert_eq!(r.route_among(7, &view, &full).node, home);
+    }
+
+    #[test]
+    fn weighted_least_load_with_unit_weights_matches_jsq() {
+        let mut wll = Router::new(RouterPolicy::WeightedLeastLoad);
+        let mut jsq = Router::new(RouterPolicy::JoinShortestQueue);
+        let view = loads(&[3, 1, 2, 1, 0, 4]);
+        let all = [true; 6];
+        for id in 0..32 {
+            assert_eq!(
+                wll.route_weighted(id, &view, &all, &[]),
+                jsq.route_among(id, &view, &all),
+                "unit-weight WLL must rank exactly like JSQ"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_least_load_sends_fast_nodes_proportionally_more() {
+        let mut r = Router::new(RouterPolicy::WeightedLeastLoad);
+        // Node 1 is 4× faster: a 2-deep queue there normalizes below
+        // node 0's empty queue, and a 3-deep queue exactly ties it
+        // (ties break toward the lower index).
+        let all = [true, true];
+        let w = [1.0, 4.0];
+        let view = vec![
+            NodeLoad { backlog: 0, kv_tokens: 0 },
+            NodeLoad { backlog: 2, kv_tokens: 0 },
+        ];
+        assert_eq!(r.route_weighted(0, &view, &all, &w).node, 1, "(2+1)/4 < (0+1)/1");
+        let tied = vec![
+            NodeLoad { backlog: 0, kv_tokens: 0 },
+            NodeLoad { backlog: 3, kv_tokens: 0 },
+        ];
+        assert_eq!(r.route_weighted(1, &tied, &all, &w).node, 0, "exact tie breaks low");
+    }
+
+    #[test]
+    fn weighted_least_load_respects_eligibility() {
+        let mut r = Router::new(RouterPolicy::WeightedLeastLoad);
+        let view = loads(&[0, 5]);
+        assert_eq!(r.route_weighted(0, &view, &[false, true], &[10.0, 0.1]).node, 1);
     }
 
     #[test]

@@ -198,6 +198,11 @@ impl AutoscalerConfig {
 pub struct PoolObservation {
     /// Nodes currently active (routable) in the pool.
     pub active_nodes: usize,
+    /// Sum of the relative throughput weights of the active nodes (a
+    /// heterogeneous pool's capacity in `dgx-base`-equivalents). `0.0`
+    /// means "homogeneous" and the per-node watermarks divide by
+    /// `active_nodes` instead — for unit weights the two are identical.
+    pub active_weight: f64,
     /// Outstanding requests across the pool: in flight + queued + active
     /// (draining deactivated nodes included — their work still exists).
     pub backlog: u64,
@@ -284,7 +289,15 @@ impl Autoscaler {
             let rate = obs.arrivals_since_tick as f64 / self.cfg.interval_s;
             self.ewma_rate[p] = alpha * rate + (1.0 - alpha) * self.ewma_rate[p];
         }
-        let n = obs.active_nodes.max(1) as f64;
+        // Watermarks are per unit of capacity: in a heterogeneous pool
+        // that is the summed throughput weight, in a homogeneous pool
+        // (weight 0.0 = unreported) the node count — identical when
+        // every weight is 1.0, so the homogeneous path is unchanged.
+        let n = if obs.active_weight > 0.0 {
+            obs.active_weight.max(1.0)
+        } else {
+            obs.active_nodes.max(1) as f64
+        };
         let (wants_out, wants_in) = match self.cfg.signal {
             ScaleSignal::QueueDepth { out_per_node, in_per_node } => {
                 let per = obs.backlog as f64 / n;
@@ -317,7 +330,26 @@ mod tests {
     use super::*;
 
     fn obs(active: usize, backlog: u64) -> PoolObservation {
-        PoolObservation { active_nodes: active, backlog, kv_frac: 0.0, arrivals_since_tick: 0 }
+        PoolObservation {
+            active_nodes: active,
+            active_weight: 0.0,
+            backlog,
+            kv_frac: 0.0,
+            arrivals_since_tick: 0,
+        }
+    }
+
+    #[test]
+    fn weighted_pool_scales_on_capacity_not_node_count() {
+        let mut a = Autoscaler::new(AutoscalerConfig::queue_depth(1.0));
+        // 2 nodes carrying 12 outstanding: 6 per node fires the out
+        // watermark (4), but if those nodes are together worth 4
+        // dgx-base-equivalents the per-capacity backlog is only 3.
+        let mut o = obs(2, 12);
+        assert_eq!(a.decide(0.0, PoolKind::Decode, &o, 1, 8), Some(ScaleDirection::Out));
+        let mut b = Autoscaler::new(AutoscalerConfig::queue_depth(1.0));
+        o.active_weight = 4.0;
+        assert_eq!(b.decide(0.0, PoolKind::Decode, &o, 1, 8), None, "3 per capacity unit < 4");
     }
 
     #[test]

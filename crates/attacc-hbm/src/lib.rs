@@ -95,6 +95,17 @@ impl HbmConfig {
         }
     }
 
+    /// Peak power draw of one stack (watts) when every unit allowed by
+    /// the IDD7 budget streams at `depth` concurrently. Convenience
+    /// wrapper over [`PowerConstraint::peak_stack_power_w`] so callers
+    /// holding a full config (e.g. the provisioning cost model) need not
+    /// unpack its fields.
+    #[must_use]
+    pub fn peak_power_w(&self, depth: AccessDepth) -> f64 {
+        self.power
+            .peak_stack_power_w(&self.geometry, &self.timing, &self.energy, depth)
+    }
+
     /// A double-capacity stack (32 GB): the `DGX_Large` building block.
     /// Bandwidth and timing are unchanged; only capacity doubles.
     #[must_use]

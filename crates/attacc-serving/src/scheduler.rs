@@ -25,6 +25,22 @@ pub trait StageExecutor {
     /// Cost of one Gen iteration over a batch described as
     /// `(request_count, context_length)` groups.
     fn gen_stage(&self, groups: &[(u64, u64)]) -> StageCost;
+
+    /// Steady-state decode throughput (output tokens/s) of a full batch of
+    /// `batch` requests all at context length `l_ctx`: one Gen iteration
+    /// emits `batch` tokens. The default derives it from [`gen_stage`],
+    /// so every executor gets a consistent probe for free; routers and
+    /// provisioning use it as the relative-throughput weight of a node.
+    ///
+    /// [`gen_stage`]: StageExecutor::gen_stage
+    fn decode_tokens_per_s(&self, batch: u64, l_ctx: u64) -> f64 {
+        let cost = self.gen_stage(&[(batch, l_ctx)]);
+        if cost.latency_s > 0.0 {
+            batch as f64 / cost.latency_s
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 /// Admission and capacity policy for the scheduler.

@@ -11,8 +11,10 @@ use attacc_serving::{
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
-/// Idle power of the AttAcc board (controllers, PHYs), watts.
-const ATTACC_STATIC_W: f64 = 100.0;
+/// Idle power of the AttAcc board (controllers, PHYs), watts. Public so
+/// the provisioning cost model bills the same constant the energy
+/// accounting charges.
+pub const ATTACC_STATIC_W: f64 = 100.0;
 
 /// Per-class breakdown of one Gen stage (Fig. 4(c) rows).
 ///

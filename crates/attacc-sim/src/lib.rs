@@ -37,6 +37,6 @@ pub mod system;
 pub mod validate;
 
 pub use engine::{SweepRunner, TimingCache};
-pub use exec::SystemExecutor;
+pub use exec::{SystemExecutor, ATTACC_STATIC_W};
 pub use report::Table;
 pub use system::{System, SystemKind};

@@ -50,6 +50,18 @@ impl XpuEnergyModel {
     pub fn link_j(&self, bytes: f64) -> f64 {
         self.link_pj_per_bit * 1e-12 * bytes * 8.0
     }
+
+    /// Peak sustained power (watts) when the system runs at `flops_per_s`
+    /// compute rate while streaming `dram_bytes_per_s` from DRAM: the
+    /// dynamic terms of [`execution_j`] per second, plus static power.
+    /// The provisioning cost model derives its `W/node` ceiling here so
+    /// billing and energy accounting share one set of constants.
+    ///
+    /// [`execution_j`]: XpuEnergyModel::execution_j
+    #[must_use]
+    pub fn peak_execution_w(&self, flops_per_s: f64, dram_bytes_per_s: f64) -> f64 {
+        self.execution_j(flops_per_s, dram_bytes_per_s, 1.0)
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 //! | [`serving`] | `attacc-serving` | Scheduler, SLO search, pipelining |
 //! | [`sim`] | `attacc-sim` | Platforms, executors, per-figure drivers |
 //! | [`cluster`] | `attacc-cluster` | Multi-node discrete-event serving simulator |
+//! | [`provision`] | `attacc-provision` | Fleet TCO: CostBook, mix search, monotone GBT surrogate |
 //! | [`chaos`] | `attacc-chaos` | Fault injection + resilience policies over the cluster |
 //! | [`trace`] | `attacc-trace` | AttAcc ISA traces: codec, graph-to-trace compiler, replay |
 //!
@@ -43,6 +44,7 @@ pub use attacc_cluster as cluster;
 pub use attacc_hbm as hbm;
 pub use attacc_model as model;
 pub use attacc_pim as pim;
+pub use attacc_provision as provision;
 pub use attacc_serving as serving;
 pub use attacc_sim as sim;
 pub use attacc_trace as trace;

@@ -192,3 +192,18 @@ fn golden_integrity() {
         &[attacc_bench::integrity_frontier(48), attacc_bench::ecc_overhead_table()],
     );
 }
+
+#[test]
+fn golden_provision() {
+    // Pins the cost book (CapEx/wattage derivation from the power/area
+    // tables) and the surrogate-pruned search end to end: training-set
+    // choice, GBT splits, shortlist ranking and the exact re-verified
+    // bills, down to the rendered digits.
+    check(
+        "provision",
+        &[
+            attacc_bench::provision_cost_book_table(),
+            attacc_bench::provision_frontier(attacc_bench::PROVISION_USERS),
+        ],
+    );
+}
