@@ -1,0 +1,14 @@
+//! Prints the fleet-chaos experiments: the MTBF × resilience/degradation
+//! frontier on the disaggregated autoscaled fleet, and the N vs. N+1
+//! redundancy comparison billed through the cost book. Pass `--serial`
+//! to pin the sweep engine to one thread (or set `ATTACC_THREADS`),
+//! `--quiet` to suppress the stderr stats footer, `--budget
+//! BENCH_chaosfleet.json` to enforce the wall-time baseline.
+fn main() {
+    attacc_bench::harness::run("chaos_fleet_sim", || {
+        vec![
+            attacc_bench::chaos_fleet_frontier(attacc_bench::CHAOS_FLEET_REQUESTS),
+            attacc_bench::chaos_fleet_redundancy(attacc_bench::CHAOS_FLEET_REQUESTS),
+        ]
+    });
+}

@@ -12,12 +12,13 @@
 #![warn(missing_docs)]
 
 use attacc_chaos::{
-    simulate_chaos, simulate_integrity, ChaosConfig, ChaosReport, CorruptionSpec, FaultSchedule,
-    FaultSpec, HealthConfig, IntegrityReport, Protection, RecoveryMode, ResiliencePolicy,
+    simulate_chaos, simulate_fleet_chaos, simulate_integrity, ChaosConfig, ChaosReport,
+    CorruptionSpec, DegradePolicy, FaultSchedule, FaultSpec, FleetChaosConfig, HealthConfig,
+    IntegrityReport, Protection, RecoveryMode, ResiliencePolicy,
 };
 use attacc_cluster::{
-    simulate_cluster, simulate_fleet, AutoscalerConfig, ClusterConfig, FleetConfig, FleetReport,
-    InterconnectModel, PoolConfig, RouterPolicy, ScaleSignal, SloSpec,
+    simulate_cluster, simulate_fleet, AutoscalerConfig, ClusterConfig, FleetConfig, FleetMix,
+    FleetReport, InterconnectModel, PoolConfig, RouterPolicy, ScaleSignal, SloSpec,
 };
 use attacc_model::{DataType, KvCacheSpec, ModelConfig, GIB};
 use attacc_pim::bitwise::{bank_pim_speedup, BankPimModel, BulkBitwiseModel};
@@ -1108,6 +1109,280 @@ pub fn chaos_routing_matrix(n_requests: u64) -> Table {
         let mut row = vec![router.name().to_string(), policy.name()];
         row.extend(chaos_row(n_requests, r));
         t.push_row(row);
+    }
+    t
+}
+
+/// Requests per fleet-chaos cell. Matches [`CHAOS_REQUESTS`]: at this
+/// depth the four-seed ensemble averages out crash-timing luck, so the
+/// frontier's availability *and* goodput columns degrade monotonically
+/// as MTBF shrinks — the acceptance claim `chaos_fleet_resilience.rs`
+/// pins.
+pub const CHAOS_FLEET_REQUESTS: u64 = 192;
+
+/// The per-node crash MTBF axis of the fleet-chaos sweeps (s).
+pub const CHAOS_FLEET_MTBFS: [f64; 4] = [f64::INFINITY, 60.0, 20.0, 6.0];
+
+/// The resilience ladder of the fleet-chaos frontier: cold re-prefill
+/// recovery only, warm KV re-shipping from the prefill source, and
+/// re-shipping plus graceful degradation (admission shedding, brownout,
+/// redispatch storm guard).
+#[must_use]
+pub fn chaos_fleet_configs() -> [(&'static str, RecoveryMode, DegradePolicy); 3] {
+    [
+        ("reprefill", RecoveryMode::Reprefill, DegradePolicy::off()),
+        ("kv-reship", RecoveryMode::KvMigrate, DegradePolicy::off()),
+        ("reship+degrade", RecoveryMode::KvMigrate, DegradePolicy::full(12.0)),
+    ]
+}
+
+/// The fleet every frontier cell runs: two fixed prefill nodes feeding
+/// an elastic 2–4-node decode pool behind a queue-depth autoscaler, so
+/// crashes interact with replacement provisioning (and its cold starts)
+/// exactly the way the docs describe.
+fn chaos_fleet_config(model: &ModelConfig) -> FleetConfig {
+    FleetConfig {
+        prefill: Some(PoolConfig::fixed(2)),
+        decode: PoolConfig::elastic(2, 2, 4),
+        scheduler: cluster_node_config(model),
+        policy: RouterPolicy::JoinShortestQueue,
+        interconnect: InterconnectModel::ethernet_400g()
+            .with_kv_bytes_per_token(KvCacheSpec::of(model).bytes_per_token),
+        slo: SloSpec::chatbot(),
+        autoscaler: Some(AutoscalerConfig {
+            interval_s: 0.25,
+            cold_start_s: 1.0,
+            cooldown_s: 0.75,
+            signal: ScaleSignal::QueueDepth { out_per_node: 48.0, in_per_node: 8.0 },
+        }),
+    }
+}
+
+/// Ensemble-mean outcomes of one fleet-chaos sweep cell (means over
+/// [`CHAOS_FAULT_SEEDS`]; count fields are fractional for that reason).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosFleetCellStats {
+    /// Mean goodput under failure (tokens/s of SLO-met unique requests).
+    pub goodput_tokens_per_s: f64,
+    /// Mean unique requests whose earliest first token met the TTFT SLO.
+    pub requests_in_slo: f64,
+    /// Mean fleet availability in `[0, 1]`.
+    pub availability: f64,
+    /// Mean crash events per run.
+    pub crashes: f64,
+    /// Mean arrivals rejected by admission control per run.
+    pub shed_requests: f64,
+    /// Mean requests answered in brownout (shortened) form per run.
+    pub browned_out: f64,
+    /// Mean warm KV re-ships of crash-displaced work per run.
+    pub recovery_reships: f64,
+    /// Mean prefill tokens recomputed after crashes per run.
+    pub recomputed_tokens: f64,
+    /// Mean billed node-seconds per run.
+    pub node_seconds: f64,
+    /// Mean total cost per million output tokens under the
+    /// [`CostBook`], USD.
+    pub usd_per_mtok: f64,
+    /// Mean makespan (s).
+    pub makespan_s: f64,
+}
+
+/// One fleet-chaos sweep cell: the [`chaos_fleet_config`] fleet under a
+/// crash schedule at the given per-node MTBF, averaged over the
+/// [`CHAOS_FAULT_SEEDS`] ensemble and billed through the paper-default
+/// [`CostBook`] as `attacc-bank` nodes. Fully deterministic: fixed
+/// seeds, fixed accumulation order.
+#[must_use]
+pub fn chaos_fleet_cell(
+    model: &ModelConfig,
+    recovery: RecoveryMode,
+    degrade: DegradePolicy,
+    mtbf_s: f64,
+    n_requests: u64,
+) -> ChaosFleetCellStats {
+    let fleet = chaos_fleet_config(model);
+    let p_max = fleet.prefill.map_or(0, |p| p.max_nodes);
+    let n = p_max + fleet.decode.max_nodes;
+    let execs: Vec<SystemExecutor> =
+        (0..n).map(|_| SystemExecutor::new(System::dgx_attacc_full(), model)).collect();
+    let refs: Vec<&dyn StageExecutor> = execs.iter().map(|e| e as &dyn StageExecutor).collect();
+    let workload = ArrivalWorkload::poisson(n_requests, CHAOS_RATE, 512, (64, 128), 42);
+    let horizon_s = 0.75 * n_requests as f64 / CHAOS_RATE;
+    let spec = FaultSpec::crashes_only(mtbf_s, CHAOS_MTTR_S);
+    let cfg = FleetChaosConfig { fleet, recovery, degrade };
+    let mix = FleetMix::uniform();
+    let book = CostBook::paper_defaults();
+    let variants = vec![NodeVariant::AttAccBank; n];
+    let mut acc = ChaosFleetCellStats {
+        goodput_tokens_per_s: 0.0,
+        requests_in_slo: 0.0,
+        availability: 0.0,
+        crashes: 0.0,
+        shed_requests: 0.0,
+        browned_out: 0.0,
+        recovery_reships: 0.0,
+        recomputed_tokens: 0.0,
+        node_seconds: 0.0,
+        usd_per_mtok: 0.0,
+        makespan_s: 0.0,
+    };
+    for &fault_seed in &CHAOS_FAULT_SEEDS {
+        let faults = FaultSchedule::generate(n, horizon_s, &spec, fault_seed);
+        let r = simulate_fleet_chaos(&refs[..p_max], &refs[p_max..], &mix, &workload, &cfg, &faults);
+        let cost = book.bill(&r.fleet, &variants);
+        acc.goodput_tokens_per_s += r.goodput_under_failure_tokens_per_s;
+        acc.requests_in_slo += r.requests_in_slo as f64;
+        acc.availability += r.availability;
+        acc.crashes += r.crashes as f64;
+        acc.shed_requests += r.shed_requests as f64;
+        acc.browned_out += r.browned_out_requests as f64;
+        acc.recovery_reships += r.recovery_reships as f64;
+        acc.recomputed_tokens += r.recomputed_tokens as f64;
+        acc.node_seconds += r.fleet.node_seconds;
+        acc.usd_per_mtok += cost.usd_per_mtok;
+        acc.makespan_s += r.fleet.cluster.makespan_s;
+    }
+    let k = CHAOS_FAULT_SEEDS.len() as f64;
+    ChaosFleetCellStats {
+        goodput_tokens_per_s: acc.goodput_tokens_per_s / k,
+        requests_in_slo: acc.requests_in_slo / k,
+        availability: acc.availability / k,
+        crashes: acc.crashes / k,
+        shed_requests: acc.shed_requests / k,
+        browned_out: acc.browned_out / k,
+        recovery_reships: acc.recovery_reships / k,
+        recomputed_tokens: acc.recomputed_tokens / k,
+        node_seconds: acc.node_seconds / k,
+        usd_per_mtok: acc.usd_per_mtok / k,
+        makespan_s: acc.makespan_s / k,
+    }
+}
+
+/// Fleet-chaos frontier: per-node crash MTBF × resilience/degradation
+/// configuration on the disaggregated autoscaled fleet. Availability and
+/// goodput under failure degrade monotonically as MTBF shrinks; warm KV
+/// re-shipping and graceful degradation buy the difference back in $ per
+/// Mtok. Cells are independent and run on the sweep engine.
+#[must_use]
+pub fn chaos_fleet_frontier(n_requests: u64) -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let configs = chaos_fleet_configs();
+    let mut cells: Vec<(f64, &'static str, RecoveryMode, DegradePolicy)> = Vec::new();
+    for &mtbf in &CHAOS_FLEET_MTBFS {
+        for &(name, recovery, degrade) in &configs {
+            cells.push((mtbf, name, recovery, degrade));
+        }
+    }
+    let reports = SweepRunner::from_env().map(&cells, |&(mtbf, _, recovery, degrade)| {
+        chaos_fleet_cell(&model, recovery, degrade, mtbf, n_requests)
+    });
+    let mut t = Table::new(
+        format!(
+            "Fleet-chaos frontier: 2P+2–4D DGX+AttAccs, autoscaled, {n_requests} requests, MTTR {CHAOS_MTTR_S} s, mean of {} fault seeds",
+            CHAOS_FAULT_SEEDS.len()
+        ),
+        &[
+            "MTBF/node (s)",
+            "config",
+            "goodput tok/s",
+            "in SLO",
+            "avail %",
+            "crashes",
+            "shed/brown",
+            "reships",
+            "recomputed tok",
+            "node-s",
+            "$/Mtok",
+        ],
+    );
+    for (&(mtbf, name, _, _), r) in cells.iter().zip(&reports) {
+        t.push_row(vec![
+            if mtbf.is_finite() { n(mtbf) } else { "∞".to_string() },
+            name.to_string(),
+            n(r.goodput_tokens_per_s),
+            format!("{} / {n_requests}", n(r.requests_in_slo)),
+            n(r.availability * 100.0),
+            n(r.crashes),
+            format!("{} / {}", n(r.shed_requests), n(r.browned_out)),
+            n(r.recovery_reships),
+            n(r.recomputed_tokens),
+            n(r.node_seconds),
+            n(r.usd_per_mtok),
+        ]);
+    }
+    t
+}
+
+/// N vs. N+1 redundancy under failure: a fixed monolithic fleet sized
+/// exactly for the load against the same fleet plus one spare node, at a
+/// healthy and a failing MTBF, both billed through the [`CostBook`]. The
+/// spare costs real $/Mtok when nothing fails and buys availability and
+/// goodput back when nodes crash.
+#[must_use]
+pub fn chaos_fleet_redundancy(n_requests: u64) -> Table {
+    let model = ModelConfig::gpt3_175b();
+    let sizes = [(3usize, "N=3"), (4usize, "N+1=4")];
+    let mtbfs = [f64::INFINITY, 20.0];
+    let mut cells: Vec<(usize, &'static str, f64)> = Vec::new();
+    for &(nodes, label) in &sizes {
+        for &mtbf in &mtbfs {
+            cells.push((nodes, label, mtbf));
+        }
+    }
+    let reports = SweepRunner::from_env().map(&cells, |&(nodes, _, mtbf)| {
+        let execs: Vec<SystemExecutor> =
+            (0..nodes).map(|_| SystemExecutor::new(System::dgx_attacc_full(), &model)).collect();
+        let refs: Vec<&dyn StageExecutor> = execs.iter().map(|e| e as &dyn StageExecutor).collect();
+        let fleet = FleetConfig {
+            prefill: None,
+            decode: PoolConfig::fixed(nodes),
+            scheduler: cluster_node_config(&model),
+            policy: RouterPolicy::JoinShortestQueue,
+            interconnect: InterconnectModel::ethernet_400g()
+                .with_kv_bytes_per_token(KvCacheSpec::of(&model).bytes_per_token),
+            slo: SloSpec::chatbot(),
+            autoscaler: None,
+        };
+        let cfg = FleetChaosConfig {
+            fleet,
+            recovery: RecoveryMode::KvMigrate,
+            degrade: DegradePolicy::off(),
+        };
+        let workload = ArrivalWorkload::poisson(n_requests, CHAOS_RATE, 512, (64, 128), 42);
+        let horizon_s = 0.75 * n_requests as f64 / CHAOS_RATE;
+        let spec = FaultSpec::crashes_only(mtbf, CHAOS_MTTR_S);
+        let mix = FleetMix::uniform();
+        let book = CostBook::paper_defaults();
+        let variants = vec![NodeVariant::AttAccBank; nodes];
+        let mut sum = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for &fault_seed in &CHAOS_FAULT_SEEDS {
+            let faults = FaultSchedule::generate(nodes, horizon_s, &spec, fault_seed);
+            let r = simulate_fleet_chaos(&[], &refs, &mix, &workload, &cfg, &faults);
+            let cost = book.bill(&r.fleet, &variants);
+            sum.0 += r.goodput_under_failure_tokens_per_s;
+            sum.1 += r.availability;
+            sum.2 += cost.usd_per_mtok;
+            sum.3 += cost.total_usd;
+        }
+        let k = CHAOS_FAULT_SEEDS.len() as f64;
+        (sum.0 / k, sum.1 / k, sum.2 / k, sum.3 / k)
+    });
+    let mut t = Table::new(
+        format!(
+            "Fleet-chaos N+1 redundancy: fixed DGX+AttAccs fleets, KV-reship recovery, {n_requests} requests, MTTR {CHAOS_MTTR_S} s, mean of {} fault seeds",
+            CHAOS_FAULT_SEEDS.len()
+        ),
+        &["fleet", "MTBF/node (s)", "goodput tok/s", "avail %", "$/Mtok", "total $"],
+    );
+    for (&(_, label, mtbf), &(goodput, avail, per_mtok, total)) in cells.iter().zip(&reports) {
+        t.push_row(vec![
+            label.to_string(),
+            if mtbf.is_finite() { n(mtbf) } else { "∞".to_string() },
+            n(goodput),
+            n(avail * 100.0),
+            n(per_mtok),
+            n(total),
+        ]);
     }
     t
 }

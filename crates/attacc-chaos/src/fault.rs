@@ -111,11 +111,24 @@ pub struct FaultSpec {
     pub link_duration_s: f64,
     /// Link transfer-delay multiplier during a window.
     pub link_factor: f64,
+    /// Correlated zone failures: the fleet is partitioned into this many
+    /// contiguous zones of global node indices (a rack / power domain /
+    /// availability zone). Must be ≥ 1 when the zone process is enabled.
+    pub zones: usize,
+    /// Mean time between correlated zone outages (s), fleet-wide;
+    /// `f64::INFINITY` disables the zone process. Each outage takes
+    /// *every* node of one uniformly drawn zone down at once — the
+    /// failure mode that defeats naive per-node redundancy.
+    pub zone_mtbf_s: f64,
+    /// Repair time of a zone outage (s): the whole zone is down this
+    /// long.
+    pub zone_mttr_s: f64,
 }
 
 impl FaultSpec {
     /// Crashes only: per-node MTBF + fixed MTTR, no stragglers, no link
-    /// trouble — the axis the `chaos_sim` MTBF sweep varies.
+    /// trouble, no zone outages — the axis the `chaos_sim` MTBF sweep
+    /// varies.
     #[must_use]
     pub fn crashes_only(mtbf_s: f64, mttr_s: f64) -> FaultSpec {
         FaultSpec {
@@ -127,8 +140,73 @@ impl FaultSpec {
             link_mtbf_s: f64::INFINITY,
             link_duration_s: 0.0,
             link_factor: 1.0,
+            zones: 1,
+            zone_mtbf_s: f64::INFINITY,
+            zone_mttr_s: 0.0,
         }
     }
+
+    /// Adds a correlated zone-outage process to `self`: `zones`
+    /// partitions, mean time `zone_mtbf_s` between outages, each lasting
+    /// `zone_mttr_s`.
+    #[must_use]
+    pub fn with_zones(mut self, zones: usize, zone_mtbf_s: f64, zone_mttr_s: f64) -> FaultSpec {
+        self.zones = zones;
+        self.zone_mtbf_s = zone_mtbf_s;
+        self.zone_mttr_s = zone_mttr_s;
+        self
+    }
+
+    /// Checks every enabled process up front: MTBFs must not be NaN,
+    /// enabled MTTRs/durations must be finite and positive, factors ≥ 1,
+    /// and the zone process needs at least one zone. Shared by
+    /// [`FaultSchedule::generate`] and (via the same helper asserts) the
+    /// manual `add_*` constructors, so an invalid spec fails loudly
+    /// instead of producing a non-monotone or NaN timeline.
+    ///
+    /// # Panics
+    /// Panics on the first violated constraint.
+    pub fn validate(&self) {
+        assert!(!self.mtbf_s.is_nan(), "crash MTBF must not be NaN");
+        if self.mtbf_s.is_finite() {
+            assert!(self.mtbf_s > 0.0, "crash MTBF must be positive");
+            check_mttr(self.mttr_s);
+        }
+        assert!(!self.straggler_mtbf_s.is_nan(), "straggler MTBF must not be NaN");
+        if self.straggler_mtbf_s.is_finite() {
+            assert!(self.straggler_mtbf_s > 0.0, "straggler MTBF must be positive");
+            check_window(self.straggler_duration_s);
+            check_factor(self.straggler_factor, "straggler");
+        }
+        assert!(!self.link_mtbf_s.is_nan(), "link MTBF must not be NaN");
+        if self.link_mtbf_s.is_finite() {
+            assert!(self.link_mtbf_s > 0.0, "link MTBF must be positive");
+            check_window(self.link_duration_s);
+            check_factor(self.link_factor, "link");
+        }
+        assert!(!self.zone_mtbf_s.is_nan(), "zone MTBF must not be NaN");
+        if self.zone_mtbf_s.is_finite() {
+            assert!(self.zone_mtbf_s > 0.0, "zone MTBF must be positive");
+            assert!(self.zones >= 1, "zone process needs at least one zone");
+            check_mttr(self.zone_mttr_s);
+        }
+    }
+}
+
+/// Shared repair-time check: every crash must pair with a future
+/// recovery or the cluster could dead-end.
+fn check_mttr(mttr_s: f64) {
+    assert!(mttr_s.is_finite() && mttr_s > 0.0, "MTTR must be finite and positive");
+}
+
+/// Shared fault-window length check.
+fn check_window(duration_s: f64) {
+    assert!(duration_s.is_finite() && duration_s > 0.0, "window must have positive length");
+}
+
+/// Shared slowdown/degradation factor check.
+fn check_factor(factor: f64, what: &str) {
+    assert!(factor.is_finite() && factor >= 1.0, "{what} factor must be ≥ 1");
 }
 
 /// A declarative fault timeline, replayed identically on every run.
@@ -166,7 +244,7 @@ impl FaultSchedule {
     /// must pair with a future recovery or the cluster could dead-end).
     pub fn crash(&mut self, node: usize, at_s: f64, mttr_s: f64) -> &mut FaultSchedule {
         assert!(at_s.is_finite() && at_s >= 0.0, "crash time must be finite and non-negative");
-        assert!(mttr_s.is_finite() && mttr_s > 0.0, "MTTR must be finite and positive");
+        check_mttr(mttr_s);
         self.faults.push(Fault::Crash { node, at_s, mttr_s });
         self
     }
@@ -184,8 +262,8 @@ impl FaultSchedule {
         factor: f64,
     ) -> &mut FaultSchedule {
         assert!(at_s.is_finite() && at_s >= 0.0, "window start must be finite and non-negative");
-        assert!(duration_s.is_finite() && duration_s > 0.0, "window must have positive length");
-        assert!(factor.is_finite() && factor >= 1.0, "straggler factor must be ≥ 1");
+        check_window(duration_s);
+        check_factor(factor, "straggler");
         self.faults.push(Fault::Straggle { node, at_s, duration_s, factor });
         self
     }
@@ -202,33 +280,41 @@ impl FaultSchedule {
         factor: f64,
     ) -> &mut FaultSchedule {
         assert!(at_s.is_finite() && at_s >= 0.0, "window start must be finite and non-negative");
-        assert!(duration_s.is_finite() && duration_s > 0.0, "window must have positive length");
-        assert!(factor.is_finite() && factor >= 1.0, "link factor must be ≥ 1");
+        check_window(duration_s);
+        check_factor(factor, "link");
         self.faults.push(Fault::LinkDegrade { at_s, duration_s, factor });
         self
     }
 
     /// Draws a schedule over `[0, horizon_s)` for an `n_nodes` cluster
     /// from `spec`, seeded by `seed`. Each node's crash and straggler
-    /// processes and the global link process use independent SplitMix64
-    /// streams derived from the seed, so adding nodes never reshuffles
-    /// the faults of existing ones. Crash windows on one node never
-    /// overlap: the next crash is sampled after the previous repair.
+    /// processes and the global link and zone processes use independent
+    /// SplitMix64 streams derived from the seed, so adding nodes never
+    /// reshuffles the faults of existing ones. Crash windows on one node
+    /// never overlap: the next crash is sampled after the previous
+    /// repair. (A zone outage *may* overlap a per-node crash window —
+    /// they are independent processes; the simulators treat overlapping
+    /// down windows idempotently.)
+    ///
+    /// Zone outages partition the global node indices into
+    /// `spec.zones` contiguous chunks (clamped to `n_nodes`); each
+    /// outage draws one zone uniformly and crashes every node in it for
+    /// `spec.zone_mttr_s`.
     ///
     /// # Panics
     /// Panics if `n_nodes` is zero, `horizon_s` is not finite and
-    /// positive, or an enabled process has a non-positive MTTR/duration
-    /// or a factor below 1.
+    /// positive, or [`FaultSpec::validate`] rejects `spec` (NaN MTBF,
+    /// non-positive MTTR/duration, factor below 1, zero zones).
     #[must_use]
     pub fn generate(n_nodes: usize, horizon_s: f64, spec: &FaultSpec, seed: u64) -> FaultSchedule {
         assert!(n_nodes > 0, "need at least one node");
         assert!(horizon_s.is_finite() && horizon_s > 0.0, "horizon must be finite and positive");
+        spec.validate();
         let mut s = FaultSchedule::none();
         let stream = |kind: u64, node: usize| {
             SeededRng::new(splitmix64(seed ^ (kind << 56) ^ node as u64))
         };
         if spec.mtbf_s.is_finite() {
-            assert!(spec.mtbf_s > 0.0, "crash MTBF must be positive");
             for node in 0..n_nodes {
                 let mut rng = stream(1, node);
                 let mut t = rng.next_exp(spec.mtbf_s);
@@ -239,7 +325,6 @@ impl FaultSchedule {
             }
         }
         if spec.straggler_mtbf_s.is_finite() {
-            assert!(spec.straggler_mtbf_s > 0.0, "straggler MTBF must be positive");
             for node in 0..n_nodes {
                 let mut rng = stream(2, node);
                 let mut t = rng.next_exp(spec.straggler_mtbf_s);
@@ -250,12 +335,25 @@ impl FaultSchedule {
             }
         }
         if spec.link_mtbf_s.is_finite() {
-            assert!(spec.link_mtbf_s > 0.0, "link MTBF must be positive");
             let mut rng = stream(3, 0);
             let mut t = rng.next_exp(spec.link_mtbf_s);
             while t < horizon_s {
                 s.degrade_link(t, spec.link_duration_s, spec.link_factor);
                 t += spec.link_duration_s + rng.next_exp(spec.link_mtbf_s);
+            }
+        }
+        if spec.zone_mtbf_s.is_finite() {
+            let zones = spec.zones.min(n_nodes);
+            let mut rng = stream(4, 0);
+            let mut t = rng.next_exp(spec.zone_mtbf_s);
+            while t < horizon_s {
+                let z = ((rng.next_f64() * zones as f64) as usize).min(zones - 1);
+                // Contiguous partition: zone z covers global nodes
+                // [z·n/zones, (z+1)·n/zones).
+                for node in (z * n_nodes / zones)..((z + 1) * n_nodes / zones) {
+                    s.crash(node, t, spec.zone_mttr_s);
+                }
+                t += spec.zone_mttr_s + rng.next_exp(spec.zone_mtbf_s);
             }
         }
         s
@@ -365,5 +463,114 @@ mod tests {
     #[should_panic(expected = "MTTR must be finite and positive")]
     fn crash_without_recovery_is_rejected() {
         FaultSchedule::none().crash(0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn zone_outages_crash_whole_zones_at_once() {
+        // 8 nodes, 4 zones of 2: every zone outage must produce exactly
+        // one pair of crashes at the same instant with the same MTTR.
+        let spec = FaultSpec::crashes_only(f64::INFINITY, 1.0).with_zones(4, 20.0, 2.0);
+        let s = FaultSchedule::generate(8, 400.0, &spec, 11);
+        assert!(!s.is_empty(), "400 s at 20 s zone MTBF must produce outages");
+        let crashes: Vec<(usize, f64)> = s
+            .faults()
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::Crash { node, at_s, mttr_s } => {
+                    assert_eq!(mttr_s, 2.0);
+                    Some((node, at_s))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes.len() % 2, 0, "zones of 2 crash in pairs");
+        for pair in crashes.chunks(2) {
+            assert_eq!(pair[0].1, pair[1].1, "zone members go down at the same instant");
+            assert_eq!(pair[0].0 / 2, pair[1].0 / 2, "both crashes are in the same zone");
+        }
+    }
+
+    #[test]
+    fn zone_process_is_seed_deterministic_and_disabled_by_default() {
+        let spec = FaultSpec::crashes_only(f64::INFINITY, 1.0).with_zones(2, 50.0, 5.0);
+        let a = FaultSchedule::generate(4, 500.0, &spec, 3);
+        let b = FaultSchedule::generate(4, 500.0, &spec, 3);
+        assert_eq!(a, b);
+        let off = FaultSpec::crashes_only(f64::INFINITY, 1.0);
+        assert!(FaultSchedule::generate(4, 500.0, &off, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "MTTR must be finite and positive")]
+    fn generate_rejects_nan_mttr_up_front() {
+        // Pre-fix, a NaN MTTR only blew up when (if) the first crash was
+        // sampled inside the horizon; validate() rejects it always.
+        let spec = FaultSpec::crashes_only(1e12, f64::NAN);
+        let _ = FaultSchedule::generate(2, 1.0, &spec, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTTR must be finite and positive")]
+    fn generate_rejects_negative_mttr() {
+        let spec = FaultSpec::crashes_only(10.0, -1.0);
+        let _ = FaultSchedule::generate(2, 100.0, &spec, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash MTBF must not be NaN")]
+    fn generate_rejects_nan_mtbf() {
+        let spec = FaultSpec::crashes_only(f64::NAN, 1.0);
+        let _ = FaultSchedule::generate(2, 100.0, &spec, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash MTBF must be positive")]
+    fn generate_rejects_non_positive_mtbf() {
+        let spec = FaultSpec::crashes_only(0.0, 1.0);
+        let _ = FaultSchedule::generate(2, 100.0, &spec, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must have positive length")]
+    fn generate_rejects_zero_straggler_window() {
+        let mut spec = FaultSpec::crashes_only(f64::INFINITY, 1.0);
+        spec.straggler_mtbf_s = 10.0;
+        spec.straggler_duration_s = 0.0;
+        spec.straggler_factor = 2.0;
+        let _ = FaultSchedule::generate(2, 100.0, &spec, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler factor must be ≥ 1")]
+    fn generate_rejects_sub_unit_straggler_factor() {
+        let mut spec = FaultSpec::crashes_only(f64::INFINITY, 1.0);
+        spec.straggler_mtbf_s = 10.0;
+        spec.straggler_duration_s = 1.0;
+        spec.straggler_factor = 0.5;
+        let _ = FaultSchedule::generate(2, 100.0, &spec, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must have positive length")]
+    fn generate_rejects_nan_link_window() {
+        let mut spec = FaultSpec::crashes_only(f64::INFINITY, 1.0);
+        spec.link_mtbf_s = 10.0;
+        spec.link_duration_s = f64::NAN;
+        spec.link_factor = 2.0;
+        let _ = FaultSchedule::generate(2, 100.0, &spec, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zone process needs at least one zone")]
+    fn generate_rejects_zero_zones() {
+        let spec = FaultSpec::crashes_only(f64::INFINITY, 1.0).with_zones(0, 10.0, 1.0);
+        let _ = FaultSchedule::generate(2, 100.0, &spec, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTTR must be finite and positive")]
+    fn generate_rejects_zero_zone_mttr() {
+        let spec = FaultSpec::crashes_only(f64::INFINITY, 1.0).with_zones(2, 10.0, 0.0);
+        let _ = FaultSchedule::generate(2, 100.0, &spec, 0);
     }
 }

@@ -56,17 +56,22 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod fleet;
 pub mod integrity;
 pub mod policy;
 pub mod report;
 pub mod sim;
 
 pub use fault::{Fault, FaultSchedule, FaultSpec};
+pub use fleet::{simulate_fleet_chaos, FleetChaosConfig};
 pub use integrity::{simulate_integrity, CorruptionSpec, IntegrityReport, Protection};
-pub use policy::{HealthConfig, RecoveryMode, ResiliencePolicy};
-pub use report::{ChaosReport, RequestOutcome};
+pub use policy::{
+    BrownoutConfig, DegradePolicy, HealthConfig, RecoveryMode, ResiliencePolicy, ShedConfig,
+    StormGuard,
+};
+pub use report::{ChaosReport, FleetChaosReport, RequestOutcome};
 pub use sim::{simulate_chaos, ChaosConfig};
 
 // Re-exported so downstream callers need only this crate for a full run.
-pub use attacc_cluster::{ClusterConfig, RouterPolicy, SloSpec};
+pub use attacc_cluster::{ClusterConfig, FleetConfig, FleetMix, PoolConfig, RouterPolicy, SloSpec};
 pub use attacc_serving::RetryPolicy;

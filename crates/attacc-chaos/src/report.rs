@@ -8,7 +8,7 @@
 //! tokens lost to crashes, recomputed by re-prefill, or re-shipped by KV
 //! migration.
 
-use attacc_cluster::ClusterReport;
+use attacc_cluster::{ClusterReport, FleetReport};
 use attacc_sim::Table;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
@@ -131,6 +131,116 @@ impl ChaosReport {
             };
             t.push_row(vec![node.to_string(), Table::num(d), Table::num(pct)]);
         }
+        t
+    }
+}
+
+/// Outcome of a fleet-scale chaos simulation
+/// ([`crate::simulate_fleet_chaos`]): the autoscaled, possibly
+/// disaggregated [`FleetReport`] plus the failure economics layered on
+/// top of it.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FleetChaosReport {
+    /// The fleet-level report — identical in shape (and, under zero
+    /// faults with the degrade policy off, identical in bytes) to
+    /// `simulate_fleet_mix`'s. Its node-second meters already include
+    /// fault downtime (down nodes are not billed) so it flows through
+    /// `attacc-provision`'s `CostBook` unchanged.
+    pub fleet: FleetReport,
+    /// Recovery-mode name (`reprefill` / `kv-migrate`).
+    pub recovery: String,
+    /// Degrade-policy name (`off`, `shed+brownout+guard`, …).
+    pub degrade: String,
+    /// Fault-transition events injected into the queue.
+    pub faults_injected: u64,
+    /// Node crashes that fired.
+    pub crashes: u64,
+    /// `1 − Σ downtime / (nodes × makespan)`, downtime clamped to the
+    /// makespan. Counts pool-inactive nodes too (a crash of a scaled-in
+    /// node costs no capacity but still shows in this hardware view).
+    pub availability: f64,
+    /// Per-global-node downtime within the makespan (s).
+    pub node_downtime_s: Vec<f64>,
+    /// Output tokens destroyed by crashes (generated, then lost with the
+    /// KV state).
+    pub lost_tokens: u64,
+    /// Context tokens recomputed by re-prefill recovery.
+    pub recomputed_tokens: u64,
+    /// Context tokens re-shipped warm by KV-migration recovery.
+    pub migrated_kv_tokens: u64,
+    /// Crash-recovery warm re-dispatches (distinct from the prefill →
+    /// decode `kv_ships` of normal disaggregated operation).
+    pub recovery_reships: u64,
+    /// Bytes moved by recovery re-ships.
+    pub recovery_reshipped_bytes: u64,
+    /// Arrivals rejected by admission control.
+    pub shed_requests: u64,
+    /// Output tokens the shed arrivals would have generated.
+    pub shed_tokens: u64,
+    /// Arrivals admitted with a brownout-shrunk decode length.
+    pub browned_out_requests: u64,
+    /// Crash-displaced re-dispatches deferred by the storm guard.
+    pub deferred_redispatches: u64,
+    /// Logical requests that completed.
+    pub unique_completed: u64,
+    /// Completed requests whose first token met their TTFT SLO
+    /// (brownout-relaxed for browned-out admissions).
+    pub requests_in_slo: u64,
+    /// Output tokens of SLO-met completed requests per second of
+    /// makespan — the goodput that survived the faults.
+    pub goodput_under_failure_tokens_per_s: f64,
+}
+
+impl FleetChaosReport {
+    /// The fleet-chaos summary as a two-column table (fleet-level tables
+    /// remain available through [`FleetChaosReport::fleet`]).
+    #[must_use]
+    pub fn summary_table(&self) -> Table {
+        let f = &self.fleet;
+        let mut t = Table::new(
+            format!(
+                "Fleet-chaos summary ({} nodes{}, recovery {}, degrade {})",
+                self.node_downtime_s.len(),
+                if f.disaggregated { ", disaggregated" } else { "" },
+                self.recovery,
+                self.degrade
+            ),
+            &["quantity", "value"],
+        );
+        t.push_row(vec!["recovery mode".into(), self.recovery.clone()]);
+        t.push_row(vec!["degrade policy".into(), self.degrade.clone()]);
+        t.push_row(vec!["faults injected".into(), self.faults_injected.to_string()]);
+        t.push_row(vec!["crashes".into(), self.crashes.to_string()]);
+        t.push_row(vec!["availability %".into(), Table::num(self.availability * 100.0)]);
+        t.push_row(vec!["lost tokens".into(), self.lost_tokens.to_string()]);
+        t.push_row(vec!["recomputed tokens".into(), self.recomputed_tokens.to_string()]);
+        t.push_row(vec!["migrated KV tokens".into(), self.migrated_kv_tokens.to_string()]);
+        t.push_row(vec![
+            "recovery re-ships / bytes".into(),
+            format!("{} / {}", self.recovery_reships, self.recovery_reshipped_bytes),
+        ]);
+        t.push_row(vec![
+            "shed requests / tokens".into(),
+            format!("{} / {}", self.shed_requests, self.shed_tokens),
+        ]);
+        t.push_row(vec!["browned-out requests".into(), self.browned_out_requests.to_string()]);
+        t.push_row(vec![
+            "deferred re-dispatches".into(),
+            self.deferred_redispatches.to_string(),
+        ]);
+        t.push_row(vec![
+            "requests in TTFT SLO".into(),
+            format!("{} / {}", self.requests_in_slo, self.unique_completed),
+        ]);
+        t.push_row(vec![
+            "goodput under failure (tokens/s)".into(),
+            Table::num(self.goodput_under_failure_tokens_per_s),
+        ]);
+        t.push_row(vec!["node-seconds billed".into(), Table::num(f.node_seconds)]);
+        t.push_row(vec!["cold-start node-s".into(), Table::num(f.cold_start_node_s)]);
+        t.push_row(vec!["scale events".into(), f.scale_events.len().to_string()]);
+        t.push_row(vec!["makespan (s)".into(), Table::num(f.cluster.makespan_s)]);
         t
     }
 }

@@ -54,15 +54,15 @@ impl ChaosConfig {
 /// unique ids. Either way index order equals ascending id order, which
 /// keeps report iteration byte-identical to the old `BTreeMap` walk.
 #[derive(Debug, Default)]
-struct RequestIndex {
+pub(crate) struct RequestIndex {
     /// Number of distinct ids.
-    len: usize,
+    pub(crate) len: usize,
     /// Sorted unique ids; empty when ids are exactly `0..len`.
     sparse: Vec<u64>,
 }
 
 impl RequestIndex {
-    fn build(workload: &ArrivalWorkload) -> RequestIndex {
+    pub(crate) fn build(workload: &ArrivalWorkload) -> RequestIndex {
         let mut ids: Vec<u64> = workload.arrivals.iter().map(|&(_, r)| r.id).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -70,7 +70,7 @@ impl RequestIndex {
         RequestIndex { len: ids.len(), sparse: if dense { Vec::new() } else { ids } }
     }
 
-    fn index_of(&self, id: u64) -> usize {
+    pub(crate) fn index_of(&self, id: u64) -> usize {
         if self.sparse.is_empty() {
             id as usize
         } else {
@@ -78,7 +78,7 @@ impl RequestIndex {
         }
     }
 
-    fn id_at(&self, idx: usize) -> u64 {
+    pub(crate) fn id_at(&self, idx: usize) -> u64 {
         if self.sparse.is_empty() {
             idx as u64
         } else {

@@ -64,7 +64,10 @@ pub mod sim;
 pub use event::{Event, EventKind, EventQueue};
 pub use interconnect::InterconnectModel;
 pub use node::{kv_stride_for, CrashedWork, DisplacedRequest, NodeEngine, NodeRole, RoundOutcome};
-pub use pools::{simulate_fleet, simulate_fleet_mix, FleetConfig, FleetMix, FleetReport, PoolConfig, PoolMix};
+pub use pools::{
+    route_in_pool, simulate_fleet, simulate_fleet_mix, FleetConfig, FleetMix, FleetReport, Pool,
+    PoolConfig, PoolMix,
+};
 pub use report::{ClusterReport, GoodputReport, NodeReport, SloSpec};
 pub use router::{splitmix64, NodeLoad, RouteDecision, Router, RouterPolicy};
 pub use scale::{

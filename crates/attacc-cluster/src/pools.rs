@@ -141,11 +141,12 @@ pub struct PoolMix {
 }
 
 impl PoolMix {
-    /// Checks lengths against the pool bounds and weight sanity.
+    /// Checks lengths against the pool bounds and weight sanity. Public
+    /// so strict-superset drivers validate with the same messages.
     ///
     /// # Panics
     /// Panics when a length or weight is inconsistent.
-    fn validate(&self, pool: &str, max_nodes: usize, shared: &SchedulerConfig) {
+    pub fn validate(&self, pool: &str, max_nodes: usize, shared: &SchedulerConfig) {
         assert!(
             self.weights.is_empty() || self.weights.len() == max_nodes,
             "{pool} mix needs one weight per potential node ({max_nodes}), got {}",
@@ -234,34 +235,45 @@ pub struct FleetReport {
     pub first_route_s: Vec<Option<f64>>,
 }
 
-/// Internal per-pool bookkeeping for the fleet loop.
-struct Pool {
-    kind: PoolKind,
+/// Per-pool bookkeeping for a fleet event loop.
+///
+/// Public so strict-superset drivers (the fleet-chaos loop in
+/// `attacc-chaos`) reuse the exact routing/eligibility/billing state —
+/// and its float-op order — instead of replicating it and drifting.
+pub struct Pool {
+    /// Which pool this is (prefill or decode).
+    pub kind: PoolKind,
     /// Global node-index range `[base, base + cfg.max_nodes)`.
-    base: usize,
-    cfg: PoolConfig,
-    router: Router,
+    pub base: usize,
+    /// Size bounds.
+    pub cfg: PoolConfig,
+    /// The pool's router (each pool routes independently).
+    pub router: Router,
     /// Routable flag per pool-local node.
-    active: Vec<bool>,
+    pub active: Vec<bool>,
     /// Earliest time each pool-local node may accept work.
-    warm_at: Vec<f64>,
+    pub warm_at: Vec<f64>,
     /// Activation time of each currently active node (for node-second
     /// billing), `None` when inactive.
-    active_since: Vec<Option<f64>>,
+    pub active_since: Vec<Option<f64>>,
     /// Relative throughput weight per pool-local node (all 1.0 for a
     /// homogeneous pool).
-    weights: Vec<f64>,
+    pub weights: Vec<f64>,
     /// Per-node KV capacities when the pool's mix overrides the shared
     /// scheduler; `None` keeps the homogeneous capacity formula (and its
     /// exact float-op order).
-    kv_caps: Option<Vec<u64>>,
+    pub kv_caps: Option<Vec<u64>>,
     /// Requests routed to this pool since the last scale tick.
-    arrivals_since_tick: u64,
-    peak_active: usize,
+    pub arrivals_since_tick: u64,
+    /// Largest simultaneous active-node count seen so far.
+    pub peak_active: usize,
 }
 
 impl Pool {
-    fn new(kind: PoolKind, base: usize, cfg: PoolConfig, mix: &PoolMix) -> Pool {
+    /// A pool at its initial size with a pass-through router; callers
+    /// install the real policy afterwards.
+    #[must_use]
+    pub fn new(kind: PoolKind, base: usize, cfg: PoolConfig, mix: &PoolMix) -> Pool {
         Pool {
             kind,
             base,
@@ -287,18 +299,110 @@ impl Pool {
         }
     }
 
-    fn active_count(&self) -> usize {
+    /// Number of active (routable) nodes.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
         self.active.iter().filter(|&&a| a).count()
     }
 
     /// Summed throughput weight of the active nodes.
-    fn active_weight(&self) -> f64 {
+    #[must_use]
+    pub fn active_weight(&self) -> f64 {
         self.active
             .iter()
             .zip(&self.weights)
             .filter_map(|(&a, &w)| a.then_some(w))
             .sum()
     }
+
+    /// Number of active nodes that are also up under the global crash
+    /// mask — what a failure-aware autoscaler should count as capacity.
+    /// With an all-`true` mask this equals [`Pool::active_count`].
+    #[must_use]
+    pub fn available_count(&self, up: &[bool]) -> usize {
+        (0..self.cfg.max_nodes).filter(|&i| self.active[i] && up[self.base + i]).count()
+    }
+
+    /// Summed throughput weight of the active-and-up nodes. Iterates in
+    /// the same index order as [`Pool::active_weight`], so with an
+    /// all-`true` mask the float sum is bit-identical.
+    #[must_use]
+    pub fn available_weight(&self, up: &[bool]) -> f64 {
+        (0..self.cfg.max_nodes)
+            .filter(|&i| self.active[i] && up[self.base + i])
+            .map(|i| self.weights[i])
+            .sum()
+    }
+}
+
+/// Routes `request` (arrived/ready at `t`) to a warm active node of
+/// `pool`, returning `(global node, migrated flag)`. Shared by
+/// front-door arrivals, prefill→decode handoffs, and the chaos layer's
+/// recovery re-dispatches, so the eligibility and cold-start rules live
+/// in exactly one place.
+///
+/// `up` is an optional global-indexed crash mask. `None` (the
+/// fault-free fleet) and an all-`true` mask produce bit-identical
+/// decisions; with crashed nodes masked out, routing falls back to the
+/// plain active-and-warm mask only when *every* up node of the pool is
+/// down — the request then parks at a dead node's door until repair,
+/// the same semantics as `simulate_chaos`.
+///
+/// # Panics
+/// Panics if the router picks a cold node (the cold-start contract) or
+/// a crashed node while an up node was eligible (the chaos contract).
+#[allow(clippy::too_many_arguments)]
+pub fn route_in_pool(
+    pool: &mut Pool,
+    engines: &[NodeEngine],
+    in_flight: &[u64],
+    in_flight_tokens: &[u64],
+    loads: &mut Vec<NodeLoad>,
+    eligible: &mut Vec<bool>,
+    first_route_s: &mut [Option<f64>],
+    up: Option<&[bool]>,
+    t: f64,
+    id: u64,
+) -> (usize, bool) {
+    let (base, k) = (pool.base, pool.cfg.max_nodes);
+    loads.clear();
+    loads.extend((base..base + k).map(|g| NodeLoad {
+        backlog: in_flight[g] + engines[g].queued_len() as u64 + engines[g].active_len() as u64,
+        kv_tokens: in_flight_tokens[g] + engines[g].pledged_tokens(),
+    }));
+    eligible.clear();
+    eligible.extend((0..k).map(|i| pool.active[i] && pool.warm_at[i] <= t));
+    // Crash-awareness: restrict to up nodes unless the whole pool is
+    // down, in which case the plain mask stays (park at a dead door).
+    let mut pool_all_down = false;
+    if let Some(up) = up {
+        pool_all_down = !(0..k).any(|i| eligible[i] && up[base + i]);
+        if !pool_all_down {
+            for (i, e) in eligible.iter_mut().enumerate() {
+                *e = *e && up[base + i];
+            }
+        }
+    }
+    let decision = pool.router.route_weighted(id, loads, eligible, &pool.weights);
+    let g = base + decision.node;
+    // The cold-start contract: a node never sees work before its
+    // warm-up completes. The eligibility mask enforces it; this
+    // assert keeps the contract load-bearing even if the mask logic
+    // regresses.
+    assert!(
+        pool.warm_at[decision.node] <= t,
+        "routed to node {g} before its cold start completed"
+    );
+    if let Some(up) = up {
+        // The chaos contract: crashed nodes are never routed work while
+        // any up node in the pool could take it.
+        assert!(up[g] || pool_all_down, "routed to crashed node {g} while an up node was eligible");
+    }
+    pool.arrivals_since_tick += 1;
+    if first_route_s[g].is_none() {
+        first_route_s[g] = Some(t);
+    }
+    (g, decision.migrated)
 }
 
 /// Runs `workload` through a disaggregated (or monolithic) fleet.
@@ -420,47 +524,6 @@ pub fn simulate_fleet_mix(
     let mut kv_shipped_bytes = 0u64;
     let mut makespan = 0.0f64;
 
-    // Routes `request` (arrived/ready at `t`) to a warm active node of
-    // `pool`, returning `(global node, extra transit delay)`. Shared by
-    // front-door arrivals and prefill→decode handoffs so the eligibility
-    // and cold-start rules live in exactly one place.
-    #[allow(clippy::too_many_arguments)]
-    fn route_in_pool(
-        pool: &mut Pool,
-        engines: &[NodeEngine],
-        in_flight: &[u64],
-        in_flight_tokens: &[u64],
-        loads: &mut Vec<NodeLoad>,
-        eligible: &mut Vec<bool>,
-        first_route_s: &mut [Option<f64>],
-        t: f64,
-        id: u64,
-    ) -> (usize, bool) {
-        let (base, k) = (pool.base, pool.cfg.max_nodes);
-        loads.clear();
-        loads.extend((base..base + k).map(|g| NodeLoad {
-            backlog: in_flight[g] + engines[g].queued_len() as u64 + engines[g].active_len() as u64,
-            kv_tokens: in_flight_tokens[g] + engines[g].pledged_tokens(),
-        }));
-        eligible.clear();
-        eligible.extend((0..k).map(|i| pool.active[i] && pool.warm_at[i] <= t));
-        let decision = pool.router.route_weighted(id, loads, eligible, &pool.weights);
-        let g = base + decision.node;
-        // The cold-start contract: a node never sees work before its
-        // warm-up completes. The eligibility mask enforces it; this
-        // assert keeps the contract load-bearing even if the mask logic
-        // regresses.
-        assert!(
-            pool.warm_at[decision.node] <= t,
-            "routed to node {g} before its cold start completed"
-        );
-        pool.arrivals_since_tick += 1;
-        if first_route_s[g].is_none() {
-            first_route_s[g] = Some(t);
-        }
-        (g, decision.migrated)
-    }
-
     while let Some(ev) = q.pop() {
         if ev.kind != EventKind::ScaleTick {
             // Scale ticks are bookkeeping, not work: they never extend
@@ -478,6 +541,7 @@ pub fn simulate_fleet_mix(
                     &mut loads,
                     &mut eligible,
                     &mut first_route_s,
+                    None,
                     ev.time_s,
                     request.id,
                 );
@@ -536,6 +600,7 @@ pub fn simulate_fleet_mix(
                                 &mut loads,
                                 &mut eligible,
                                 &mut first_route_s,
+                                None,
                                 ready_s,
                                 rest.id,
                             );

@@ -1,0 +1,114 @@
+//! Acceptance tests for the fleet-chaos headline claims.
+//!
+//! The `chaos_fleet_sim` sweep is the evidence that fleet-level fault
+//! injection, autoscaler-aware recovery and graceful degradation
+//! interact the way the docs say they do. These tests pin the claims on
+//! the exact cells the binary prints:
+//!
+//! 1. per configuration, availability **and** goodput under failure
+//!    degrade monotonically as the per-node crash MTBF shrinks,
+//! 2. warm KV re-shipping keeps more requests inside the TTFT SLO than
+//!    cold re-prefill at every failure rate, and
+//! 3. the degradation levers (shedding, brownout) only ever engage when
+//!    something is actually down.
+
+use attacc::model::ModelConfig;
+use attacc_bench::{
+    chaos_fleet_cell, chaos_fleet_configs, ChaosFleetCellStats, CHAOS_FLEET_MTBFS,
+    CHAOS_FLEET_REQUESTS,
+};
+
+/// The binary's own `CHAOS_FLEET_REQUESTS`: the claims are about the
+/// shipped sweep, so the tests run the exact cells `chaos_fleet_sim`
+/// prints.
+const N: u64 = CHAOS_FLEET_REQUESTS;
+
+fn ladder_cells() -> Vec<(&'static str, Vec<ChaosFleetCellStats>)> {
+    let model = ModelConfig::gpt3_175b();
+    chaos_fleet_configs()
+        .into_iter()
+        .map(|(name, recovery, degrade)| {
+            let cells = CHAOS_FLEET_MTBFS
+                .iter()
+                .map(|&mtbf| chaos_fleet_cell(&model, recovery, degrade, mtbf, N))
+                .collect();
+            (name, cells)
+        })
+        .collect()
+}
+
+#[test]
+fn availability_and_goodput_degrade_monotonically_with_mtbf() {
+    for (name, cells) in ladder_cells() {
+        for pair in cells.windows(2) {
+            assert!(
+                pair[0].availability >= pair[1].availability - 1e-12,
+                "{name}: availability must not improve as MTBF shrinks: {} < {}",
+                pair[0].availability,
+                pair[1].availability
+            );
+            assert!(
+                pair[0].goodput_tokens_per_s >= pair[1].goodput_tokens_per_s - 1e-9,
+                "{name}: goodput must not improve as MTBF shrinks: {} < {}",
+                pair[0].goodput_tokens_per_s,
+                pair[1].goodput_tokens_per_s
+            );
+        }
+        let (first, last) = (&cells[0], &cells[cells.len() - 1]);
+        assert_eq!(first.availability, 1.0, "{name}: no faults, full availability");
+        assert!(
+            first.availability > last.availability + 0.05,
+            "{name}: the deepest failure rate must cost real availability"
+        );
+    }
+}
+
+#[test]
+fn kv_reshipping_keeps_more_requests_in_slo_than_reprefill() {
+    let ladder = ladder_cells();
+    let (_, reprefill) = &ladder[0];
+    let (_, reship) = &ladder[1];
+    // Skip the fault-free anchor: without crashes the modes are
+    // identical by construction.
+    for (i, &mtbf) in CHAOS_FLEET_MTBFS.iter().enumerate().skip(1) {
+        assert!(
+            reship[i].requests_in_slo >= reprefill[i].requests_in_slo,
+            "KV re-shipping must not lose SLO ground to re-prefill at MTBF {mtbf}: {} vs {}",
+            reship[i].requests_in_slo,
+            reprefill[i].requests_in_slo
+        );
+        assert!(
+            reship[i].recovery_reships > 0.0 || reprefill[i].recomputed_tokens == 0.0,
+            "when crashes displace work, KvMigrate must actually re-ship at MTBF {mtbf}"
+        );
+    }
+    // And at the deeper failure rates the win is strict, not a tie.
+    let deepest = CHAOS_FLEET_MTBFS.len() - 1;
+    assert!(
+        reship[deepest].goodput_tokens_per_s > reprefill[deepest].goodput_tokens_per_s,
+        "warm recovery should out-run cold re-prefill at the deepest MTBF: {} vs {}",
+        reship[deepest].goodput_tokens_per_s,
+        reprefill[deepest].goodput_tokens_per_s
+    );
+}
+
+#[test]
+fn degradation_levers_engage_only_under_failure() {
+    let ladder = ladder_cells();
+    let (_, degrade) = &ladder[2];
+    let healthy = &degrade[0];
+    assert_eq!(healthy.shed_requests, 0.0, "no shedding on a healthy fleet");
+    assert_eq!(healthy.browned_out, 0.0, "no brownout on a healthy fleet");
+    let deepest = &degrade[CHAOS_FLEET_MTBFS.len() - 1];
+    assert!(
+        deepest.browned_out > 0.0,
+        "sustained crashes must push the fleet into brownout"
+    );
+    // Degradation trades answer length for admission: it must never
+    // finish with *fewer* requests inside the SLO than doing nothing.
+    let (_, reprefill) = &ladder[0];
+    assert!(
+        deepest.requests_in_slo >= reprefill[CHAOS_FLEET_MTBFS.len() - 1].requests_in_slo,
+        "degradation should protect SLO attainment under failure"
+    );
+}

@@ -198,7 +198,8 @@ fn reports_are_byte_identical_with_fast_path_forced_on_and_off() {
         let cluster = attacc_bench::cluster_frontier(24).to_string();
         let chaos = attacc_bench::chaos_goodput_frontier(24).to_string();
         let autoscale = attacc_bench::autoscale_frontier(2048).to_string();
-        (cluster, chaos, autoscale)
+        let chaos_fleet = attacc_bench::chaos_fleet_frontier(24).to_string();
+        (cluster, chaos, autoscale, chaos_fleet)
     };
     let exact = render(false);
     let fast = render(true);
@@ -206,6 +207,7 @@ fn reports_are_byte_identical_with_fast_path_forced_on_and_off() {
     assert_eq!(exact.0, fast.0, "fast path changed the cluster frontier");
     assert_eq!(exact.1, fast.1, "fast path changed the chaos goodput frontier");
     assert_eq!(exact.2, fast.2, "fast path changed the autoscale frontier");
+    assert_eq!(exact.3, fast.3, "fast path changed the fleet-chaos frontier");
 }
 
 #[test]
@@ -307,6 +309,106 @@ fn disaggregated_pair_with_free_shipping_matches_monolithic_node() {
     // Every request generated ≥ 2 tokens, so every one shipped exactly
     // once; single-token completions would retire at the prefill node.
     assert_eq!(fleet.kv_ships, w.arrivals.len() as u64);
+}
+
+#[test]
+fn fleet_chaos_with_zero_faults_is_bit_exact_with_fleet_mix() {
+    use attacc::chaos::{simulate_fleet_chaos, FaultSchedule, FleetChaosConfig};
+    use attacc::cluster::{
+        simulate_fleet_mix, AutoscalerConfig, FleetConfig, FleetMix, InterconnectModel,
+        PoolConfig, RouterPolicy, SloSpec,
+    };
+
+    // The fleet-scale strict-superset pin at workspace level: an empty
+    // fault schedule and the inert config (re-prefill recovery, every
+    // degradation lever off) must leave simulate_fleet_mix's report
+    // untouched — same floats — on both a disaggregated fixed fleet and
+    // a monolithic autoscaled one, under every pool router policy.
+    let w = ArrivalWorkload::poisson(80, 120.0, 48, (4, 24), 17);
+    let toys = [Toy, Toy, Toy, Toy];
+    let nodes: Vec<&dyn StageExecutor> = toys.iter().map(|t| t as &dyn StageExecutor).collect();
+    let mix = FleetMix::uniform();
+    let fleets = [
+        FleetConfig {
+            prefill: Some(PoolConfig::fixed(1)),
+            decode: PoolConfig::fixed(3),
+            scheduler: SchedulerConfig::unlimited(8),
+            policy: RouterPolicy::JoinShortestQueue,
+            interconnect: InterconnectModel::ethernet_400g().with_kv_bytes_per_token(64),
+            slo: SloSpec::chatbot(),
+            autoscaler: None,
+        },
+        FleetConfig {
+            prefill: None,
+            decode: PoolConfig::elastic(2, 2, 4),
+            scheduler: SchedulerConfig::unlimited(8),
+            policy: RouterPolicy::JoinShortestQueue,
+            interconnect: InterconnectModel::ethernet_400g().with_kv_bytes_per_token(64),
+            slo: SloSpec::chatbot(),
+            autoscaler: Some(AutoscalerConfig::queue_depth(0.05)),
+        },
+    ];
+    for fleet in fleets {
+        let p_max = fleet.prefill.map_or(0, |p| p.max_nodes);
+        for policy in [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::JoinShortestQueue,
+            RouterPolicy::LeastKvBytes,
+            RouterPolicy::WeightedLeastLoad,
+        ] {
+            let cfg = FleetConfig { policy, ..fleet };
+            let base = simulate_fleet_mix(&nodes[..p_max], &nodes[p_max..], &mix, &w, &cfg);
+            let chaos = simulate_fleet_chaos(
+                &nodes[..p_max],
+                &nodes[p_max..],
+                &mix,
+                &w,
+                &FleetChaosConfig::inert(cfg),
+                &FaultSchedule::none(),
+            );
+            assert_eq!(
+                chaos.fleet,
+                base,
+                "zero-fault fleet-chaos run diverged from simulate_fleet_mix under {} ({})",
+                policy.name(),
+                if p_max > 0 { "disaggregated" } else { "monolithic" }
+            );
+            assert_eq!(chaos.faults_injected, 0);
+            assert_eq!(chaos.availability, 1.0);
+            assert_eq!((chaos.crashes, chaos.shed_requests, chaos.browned_out_requests), (0, 0, 0));
+        }
+    }
+}
+
+#[test]
+fn fleet_chaos_frontier_is_byte_identical_across_thread_counts() {
+    // A faulty fixed-seed fleet run: the frontier sweeps real crash
+    // schedules through the autoscaled disaggregated fleet, so this pins
+    // fault injection, recovery re-shipping, degradation and replacement
+    // provisioning to byte-identical output at any parallelism.
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    engine::set_threads(1);
+    let serial = attacc_bench::chaos_fleet_frontier(24).to_string();
+    for threads in [2, 8] {
+        engine::set_threads(threads);
+        let parallel = attacc_bench::chaos_fleet_frontier(24).to_string();
+        assert_eq!(
+            serial, parallel,
+            "fleet-chaos frontier changed between 1 and {threads} threads"
+        );
+    }
+    engine::set_threads(0); // restore env-resolved default
+}
+
+#[test]
+fn fleet_chaos_frontier_is_byte_identical_cold_and_warm_cache() {
+    let _guard = ENGINE_LOCK.lock().expect("engine lock");
+    let cache = TimingCache::global();
+    cache.clear();
+    cache.reset_stats();
+    let cold = attacc_bench::chaos_fleet_frontier(24).to_string();
+    let warm = attacc_bench::chaos_fleet_frontier(24).to_string();
+    assert_eq!(cold, warm, "cache hits changed the fleet-chaos frontier");
 }
 
 #[test]

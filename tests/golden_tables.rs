@@ -157,6 +157,22 @@ fn golden_chaos() {
 }
 
 #[test]
+fn golden_chaos_fleet() {
+    // Smaller than the binary's CHAOS_FLEET_REQUESTS: the snapshot pins
+    // fleet-level fault injection, autoscaler-aware replacement, warm KV
+    // re-shipping, degradation bookkeeping and the cost-book billing,
+    // not the headline frontier numbers
+    // (tests/chaos_fleet_resilience.rs pins those).
+    check(
+        "chaos_fleet",
+        &[
+            attacc_bench::chaos_fleet_frontier(48),
+            attacc_bench::chaos_fleet_redundancy(48),
+        ],
+    );
+}
+
+#[test]
 fn golden_autoscale() {
     // Smaller than the binary's AUTOSCALE_SESSIONS but above the KV
     // stride-sampling threshold (1024): the snapshot pins pool routing,
